@@ -1,0 +1,357 @@
+// Package graphmem's root benchmark suite regenerates every table and
+// figure of the paper's evaluation as a testing.B benchmark. Each
+// Benchmark runs the corresponding experiment at bench scale and reports
+// its headline number via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the whole evaluation. Full-fidelity (paper-geometry) tables
+// come from `go run ./cmd/expdriver -scale full`; the benchmarks here
+// trade graph size for wall-clock so the suite completes in minutes.
+package graphmem_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"graphmem/internal/analytics"
+	"graphmem/internal/core"
+	"graphmem/internal/exp"
+	"graphmem/internal/gen"
+	"graphmem/internal/oskernel"
+	"graphmem/internal/reorder"
+	"graphmem/internal/stats"
+	"graphmem/internal/tlb"
+)
+
+// benchSuite builds a fresh suite per iteration so the benchmark
+// measures the full experiment, not the memoization cache.
+func runExperiment(b *testing.B, run func(*exp.Suite) []*stats.Table, metric func([]*stats.Table) (string, float64)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(gen.ScaleBench, nil)
+		s.PRMaxIters = 2
+		tables := run(s)
+		if metric != nil {
+			name, v := metric(tables)
+			b.ReportMetric(v, name)
+		}
+	}
+}
+
+// geomeanColumn extracts column idx of the first table and returns its
+// geometric mean (cells must be numeric).
+func geomeanColumn(tables []*stats.Table, idx int) float64 {
+	var xs []float64
+	for _, row := range tables[0].Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[idx], "%"), 64)
+		if err != nil {
+			continue
+		}
+		xs = append(xs, v)
+	}
+	return stats.Geomean(xs)
+}
+
+func BenchmarkTable1_SystemParameters(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Table1, nil)
+}
+
+func BenchmarkTable2_Datasets(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Table2, nil)
+}
+
+func BenchmarkFig1_THPSpeedup(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Fig1, func(t []*stats.Table) (string, float64) {
+		return "thp-fresh-speedup", geomeanColumn(t, 1)
+	})
+}
+
+func BenchmarkFig2_TranslationOverhead(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Fig2, func(t []*stats.Table) (string, float64) {
+		return "4k-translation-pct", geomeanColumn(t, 1)
+	})
+}
+
+func BenchmarkFig3_TLBMissRates(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Fig3, func(t []*stats.Table) (string, float64) {
+		return "4k-dtlb-miss-pct", geomeanColumn(t, 1)
+	})
+}
+
+func BenchmarkFig4_AccessBreakdown(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Fig4, nil)
+}
+
+func BenchmarkFig5_PerStructureTHP(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Fig5, func(t []*stats.Table) (string, float64) {
+		return "prop-only-speedup", geomeanColumn(t, 3)
+	})
+}
+
+func BenchmarkFig7_PressureAllocOrder(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Fig7, func(t []*stats.Table) (string, float64) {
+		return "optimized-order-speedup", geomeanColumn(t, 3)
+	})
+}
+
+func BenchmarkFig7b_PressureSweep(b *testing.B) {
+	runExperiment(b, (*exp.Suite).PressureSweep, func(t []*stats.Table) (string, float64) {
+		// Slowdown at the oversubscribed point (first numeric column
+		// of the 4k sweep): the swap cliff.
+		return "oversubscribed-4k-speedup", geomeanColumn(t, 1)
+	})
+}
+
+func BenchmarkFig8_Fragmentation(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Fig8, func(t []*stats.Table) (string, float64) {
+		return "optimized-order-speedup", geomeanColumn(t, 3)
+	})
+}
+
+func BenchmarkFig9_FragSweep(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Fig9, nil)
+}
+
+func BenchmarkFig10_SelectiveTHP(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Fig10, func(t []*stats.Table) (string, float64) {
+		return "dbg-sel100-speedup", geomeanColumn(t, 5)
+	})
+}
+
+func BenchmarkFig11_SelectivitySweep(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Fig11, nil)
+}
+
+func BenchmarkT_DBGOverhead(b *testing.B) {
+	runExperiment(b, (*exp.Suite).DBGOverhead, func(t []*stats.Table) (string, float64) {
+		return "preproc-pct", geomeanColumn(t, 1)
+	})
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Headline, func(t []*stats.Table) (string, float64) {
+		return "sel-vs-4k-speedup", geomeanColumn(t, 1)
+	})
+}
+
+func BenchmarkPageCacheInterference(b *testing.B) {
+	runExperiment(b, (*exp.Suite).PageCache, nil)
+}
+
+// --- microbenchmarks: the simulator's own hot paths -------------------
+
+// BenchmarkAccessHot measures the simulator's per-access overhead when
+// everything hits (the lower bound of simulation cost).
+func BenchmarkAccessHot(b *testing.B) {
+	g := gen.Generate(gen.Wiki, gen.ScaleTest, false)
+	r, err := core.Run(core.RunSpec{
+		Graph: g, App: analytics.BFS, Reorder: reorder.Identity,
+		Order: analytics.Natural, Policy: core.Base4K(), Env: core.FreshBoot(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	accesses := r.Init.Accesses + r.Kernel.Accesses
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r2, err := core.Run(core.RunSpec{
+			Graph: g, App: analytics.BFS, Reorder: reorder.Identity,
+			Order: analytics.Natural, Policy: core.Base4K(), Env: core.FreshBoot(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r2
+	}
+	b.ReportMetric(float64(accesses), "sim-accesses/op")
+}
+
+// BenchmarkBFSSimThroughput reports simulated-edges per wall-second.
+func BenchmarkBFSSimThroughput(b *testing.B) {
+	g := gen.Generate(gen.Kron25, gen.ScaleBench, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := core.Run(core.RunSpec{
+			Graph: g, App: analytics.BFS, Reorder: reorder.Identity,
+			Order: analytics.Natural, Policy: core.THPAlways(), Env: core.FreshBoot(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.NumEdges()), "edges/op")
+}
+
+// BenchmarkDBGReorder measures preprocessing throughput.
+func BenchmarkDBGReorder(b *testing.B) {
+	g := gen.Generate(gen.Kron25, gen.ScaleBench, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reorder.Apply(g, reorder.DBG, 1)
+	}
+	b.ReportMetric(float64(g.NumEdges()), "edges/op")
+}
+
+// --- extension & ablation benchmarks ----------------------------------
+
+func BenchmarkExt_Baselines(b *testing.B) {
+	runExperiment(b, (*exp.Suite).Baselines, func(t []*stats.Table) (string, float64) {
+		return "hawkeye-speedup", geomeanColumn(t, 3)
+	})
+}
+
+func BenchmarkExt_AutoSelective(b *testing.B) {
+	runExperiment(b, (*exp.Suite).AutoSelective, func(t []*stats.Table) (string, float64) {
+		return "auto-orig-speedup", geomeanColumn(t, 2)
+	})
+}
+
+func BenchmarkExt_ConnectedComponents(b *testing.B) {
+	runExperiment(b, (*exp.Suite).CCWorkload, nil)
+}
+
+// BenchmarkAblation_Khugepaged quantifies what background promotion
+// contributes on top of fault-time allocation under fragmentation.
+func BenchmarkAblation_Khugepaged(b *testing.B) {
+	g := gen.Generate(gen.Kron25, gen.ScaleBench, false)
+	for i := 0; i < b.N; i++ {
+		for _, enabled := range []bool{false, true} {
+			p := core.THPAlways()
+			p.DisableKhugepaged = !enabled
+			r, err := core.Run(core.RunSpec{
+				Graph: g, App: analytics.BFS, Reorder: reorder.Identity,
+				Order: analytics.Natural, Policy: p,
+				Env: core.Fragmented(4<<20, 0.5),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			name := "cycles-khugepaged-off"
+			if enabled {
+				name = "cycles-khugepaged-on"
+			}
+			b.ReportMetric(float64(r.TotalCycles), name)
+		}
+	}
+}
+
+// BenchmarkAblation_DefragModes compares fault-time defragmentation
+// effort settings for madvise'd memory under total fragmentation by
+// movable pages.
+func BenchmarkAblation_DefragModes(b *testing.B) {
+	g := gen.Generate(gen.Kron25, gen.ScaleBench, false)
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []oskernel.DefragMode{
+			oskernel.DefragNever, oskernel.DefragMadvise, oskernel.DefragAlways,
+		} {
+			p := core.SelectiveTHP(1.0)
+			p.Defrag = mode
+			r, err := core.Run(core.RunSpec{
+				Graph: g, App: analytics.BFS, Reorder: reorder.DBG,
+				Order: analytics.Natural, Policy: p,
+				Env: core.Pressured(2 << 20),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(r.PropHugeBytes)/(1<<20), "prop-huge-MB-defrag-"+mode.String())
+		}
+	}
+}
+
+// BenchmarkAblation_AgedFraction sweeps the ambient non-movable poison
+// density that calibrates the paper's pressure phases (DESIGN.md §1).
+func BenchmarkAblation_AgedFraction(b *testing.B) {
+	g := gen.Generate(gen.Kron25, gen.ScaleBench, false)
+	for i := 0; i < b.N; i++ {
+		for _, f := range []float64{0, 0.125, 0.25, 0.5} {
+			env := core.Environment{AgedFraction: f, PressureDelta: 4 << 20}
+			r, err := core.Run(core.RunSpec{
+				Graph: g, App: analytics.BFS, Reorder: reorder.Identity,
+				Order: analytics.Natural, Policy: core.THPAlways(), Env: env,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*r.HugeShareOfFootprint(),
+				"huge-share-pct-aged-"+strconv.FormatFloat(f, 'g', -1, 64))
+		}
+	}
+}
+
+// BenchmarkAblation_2MTLBThrash demonstrates the paper's 2MB-TLB
+// thrashing effect directly: with a TLB scaled so huge translations
+// outnumber 2M-TLB entries, system-wide THP loses part of its win and
+// property-only selective use keeps it.
+func BenchmarkAblation_2MTLBThrash(b *testing.B) {
+	g := gen.Generate(gen.Kron25, gen.ScaleBench, false)
+	dbg, _ := reorder.Apply(g, reorder.DBG, 1)
+	small := tlb.Scaled(tlb.Haswell(), 32)
+	for i := 0; i < b.N; i++ {
+		run := func(p core.Policy) uint64 {
+			r, err := core.Run(core.RunSpec{
+				Graph: dbg, App: analytics.BFS, Reorder: reorder.Identity,
+				Order: analytics.Natural, Policy: p, Env: core.FreshBoot(),
+				TLB: small,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r.TotalCycles
+		}
+		all := run(core.THPAlways())
+		sel := run(core.SelectiveTHP(0.4))
+		b.ReportMetric(float64(all)/float64(sel), "selective-vs-systemwide")
+	}
+}
+
+// BenchmarkExt_HugetlbGuarantee compares opportunistic selective THP
+// against a boot-time hugetlbfs reservation under worst-case
+// fragmentation (§2.3's explicit-vs-transparent tradeoff).
+func BenchmarkExt_HugetlbGuarantee(b *testing.B) {
+	g := gen.Generate(gen.Kron25, gen.ScaleBench, false)
+	dbg, _ := reorder.Apply(g, reorder.DBG, 1)
+	for i := 0; i < b.N; i++ {
+		env := core.Fragmented(2<<20, 1.0)
+		run := func(p core.Policy) uint64 {
+			r, err := core.Run(core.RunSpec{
+				Graph: dbg, App: analytics.BFS, Reorder: reorder.Identity,
+				Order: analytics.Natural, Policy: p, Env: env,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r.TotalCycles
+		}
+		thp := run(core.SelectiveTHP(0.5))
+		htlb := run(core.HugetlbSelective(0.5))
+		b.ReportMetric(float64(thp)/float64(htlb), "hugetlb-vs-thp-speedup")
+	}
+}
+
+// BenchmarkAblation_SimPageTables compares the constant-cost walk model
+// against full page-table simulation (walk entries fetched through the
+// cache hierarchy, paging structures resident in simulated memory).
+func BenchmarkAblation_SimPageTables(b *testing.B) {
+	g := gen.Generate(gen.Kron25, gen.ScaleBench, false)
+	for i := 0; i < b.N; i++ {
+		for _, sim := range []bool{false, true} {
+			r, err := core.Run(core.RunSpec{
+				Graph: g, App: analytics.BFS, Reorder: reorder.Identity,
+				Order: analytics.Natural, Policy: core.Base4K(), Env: core.FreshBoot(),
+				TLB:                tlb.Scaled(tlb.Haswell(), 8),
+				SimulatePageTables: sim,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			name := "cycles-const-walks"
+			if sim {
+				name = "cycles-simulated-walks"
+			}
+			b.ReportMetric(float64(r.KernelCycles), name)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command docsplice injects measured experiment tables into the
+// commentary document: every `<!-- TABLE:id -->` marker in the input
+// markdown is replaced by the rendered tables of that experiment from an
+// expdriver text output.
+//
+//	go run ./cmd/docsplice -doc EXPERIMENTS.md -results results/expdriver_full.txt -o EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	doc := flag.String("doc", "EXPERIMENTS.md", "markdown with <!-- TABLE:id --> markers")
+	res := flag.String("results", "results/expdriver_full.txt", "expdriver text output")
+	out := flag.String("o", "", "output path (default: overwrite -doc)")
+	flag.Parse()
+	if *out == "" {
+		*out = *doc
+	}
+
+	docBytes, err := os.ReadFile(*doc)
+	if err != nil {
+		fatal(err)
+	}
+	resBytes, err := os.ReadFile(*res)
+	if err != nil {
+		fatal(err)
+	}
+
+	tables := parseResults(string(resBytes))
+	text := string(docBytes)
+	missing := 0
+	for id, body := range tables {
+		marker := fmt.Sprintf("<!-- TABLE:%s -->", id)
+		if strings.Contains(text, marker) {
+			text = strings.ReplaceAll(text, marker, "```\n"+strings.TrimRight(body, "\n")+"\n```")
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "<!-- TABLE:") {
+			fmt.Fprintf(os.Stderr, "docsplice: unresolved marker: %s\n", strings.TrimSpace(line))
+			missing++
+		}
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("docsplice: wrote %s (%d experiments available, %d markers unresolved)\n",
+		*out, len(tables), missing)
+}
+
+// parseResults splits an expdriver text dump into per-experiment bodies:
+// each section starts with "### <id> (" and contains one or more
+// rendered tables.
+func parseResults(s string) map[string]string {
+	tables := make(map[string]string)
+	lines := strings.Split(s, "\n")
+	var id string
+	var body []string
+	flush := func() {
+		if id != "" {
+			tables[id] = strings.TrimSpace(strings.Join(body, "\n")) + "\n"
+		}
+		body = nil
+	}
+	for _, line := range lines {
+		if strings.HasPrefix(line, "### ") {
+			flush()
+			rest := strings.TrimPrefix(line, "### ")
+			if i := strings.IndexByte(rest, ' '); i > 0 {
+				id = rest[:i]
+			} else {
+				id = rest
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "completed ") {
+			flush()
+			id = ""
+			continue
+		}
+		if id != "" {
+			body = append(body, line)
+		}
+	}
+	flush()
+	return tables
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "docsplice:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command expdriver reproduces the paper's evaluation: it runs every
+// experiment (or a selected subset) and writes the tables as text to
+// stdout and as markdown to a results file.
+//
+// Usage:
+//
+//	expdriver [-scale full|bench|test] [-exp fig1,fig10,...] [-out results.md] [-v]
+//
+// A full-scale run of all experiments takes tens of minutes on one core;
+// -scale bench completes in a few minutes at reduced fidelity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"graphmem/internal/exp"
+	"graphmem/internal/gen"
+)
+
+func main() {
+	scale := flag.String("scale", "full", "dataset scale: full, bench, or test")
+	expIDs := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	outPath := flag.String("out", "", "write markdown tables to this file")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	verbose := flag.Bool("v", false, "log each simulation run")
+	listOnly := flag.Bool("list", false, "list experiments and exit")
+	priters := flag.Int("pr-iters", 3, "PageRank iteration cap")
+	flag.Parse()
+
+	if *listOnly {
+		for _, e := range exp.Registry {
+			fmt.Printf("%-10s %-8s %s\n", e.ID, e.Paper, e.Desc)
+		}
+		return
+	}
+
+	var sc gen.Scale
+	switch *scale {
+	case "full":
+		sc = gen.ScaleFull
+	case "bench":
+		sc = gen.ScaleBench
+	case "test":
+		sc = gen.ScaleTest
+	default:
+		fmt.Fprintf(os.Stderr, "expdriver: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var log io.Writer
+	if *verbose {
+		log = os.Stderr
+	}
+	s := exp.NewSuite(sc, log)
+	s.PRMaxIters = *priters
+
+	var ids []string
+	if *expIDs != "" {
+		ids = strings.Split(*expIDs, ",")
+	}
+
+	start := time.Now()
+	results, err := exp.RunAndRender(s, ids, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted %d experiments (%d distinct simulation runs) in %s\n",
+		len(results), s.CachedRunCount(), time.Since(start).Round(time.Second))
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
+			os.Exit(1)
+		}
+		for id, tables := range results {
+			for i, t := range tables {
+				name := fmt.Sprintf("%s/%s_%d.csv", *csvDir, id, i)
+				if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "expdriver: writing %s: %v\n", name, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("CSV tables written to %s/\n", *csvDir)
+	}
+
+	if *outPath != "" {
+		var b strings.Builder
+		fmt.Fprintf(&b, "# graphmem experiment results\n\nscale=%s, runs=%d, generated in %s\n\n",
+			*scale, s.CachedRunCount(), time.Since(start).Round(time.Second))
+		for _, e := range exp.Registry {
+			tables, ok := results[e.ID]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "## %s (%s): %s\n\n", e.ID, e.Paper, e.Desc)
+			for _, t := range tables {
+				b.WriteString(t.Markdown())
+				b.WriteString("\n")
+			}
+		}
+		if err := os.WriteFile(*outPath, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: writing %s: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("markdown written to %s\n", *outPath)
+	}
+}

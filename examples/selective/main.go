@@ -1,0 +1,72 @@
+// Selective: the paper's §5 strategy end to end — Degree-Based Grouping
+// coalesces hot vertices into a dense prefix of the property array, and
+// madvise(MADV_HUGEPAGE) over just that prefix recovers most of the
+// unbounded-THP performance with a tiny huge page budget, even on a
+// fragmented, memory-constrained machine.
+//
+//	go run ./examples/selective
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphmem/internal/analytics"
+	"graphmem/internal/core"
+	"graphmem/internal/gen"
+	"graphmem/internal/reorder"
+)
+
+func main() {
+	// Scattered hubs (Kronecker-style) over a property array spanning
+	// several 2MB regions: the configuration where DBG + selective THP
+	// shines. Takes ~20 seconds.
+	g := gen.PowerLaw(gen.PowerLawConfig{
+		N: 1 << 21, AvgDegree: 5, Alpha: 0.8,
+		HubsClustered: false, Seed: 3,
+	})
+	wss := analytics.WSSBytes(analytics.BFS, g)
+
+	// Step 1 — the access skew DBG exploits: Kronecker hubs are
+	// scattered across the ID space until reordering groups them.
+	dbg, cost := reorder.Apply(g, reorder.DBG, 1)
+	fmt.Printf("power-law graph: %d vertices, %d edges\n", g.N, g.NumEdges())
+	fmt.Printf("hot 10%% of property entries receive: %.1f%% of accesses originally, "+
+		"%.1f%% after DBG\n", 100*reorder.HotPrefixCoverage(g, 0.1),
+		100*reorder.HotPrefixCoverage(dbg, 0.1))
+	fmt.Printf("DBG cost: %d vertex + %d edge traversal elements\n\n",
+		cost.VertexTraversals, cost.EdgeTraversals)
+
+	// Step 2 — a hostile environment: an aged machine, memhog leaving
+	// only a sliver of slack, and half the available memory poisoned by
+	// non-movable pages.
+	env := core.Fragmented(int64(wss/8), 0.5)
+
+	run := func(name string, p core.Policy, method reorder.Method) uint64 {
+		r, err := core.Run(core.RunSpec{
+			Graph: g, App: analytics.BFS,
+			Reorder: method, Order: analytics.Natural,
+			Policy: p, Env: env,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s %14d cycles   huge=%6.1fMB (%.2f%% of footprint)\n",
+			name, r.TotalCycles, float64(r.TotalHugeBytes)/(1<<20),
+			100*r.HugeShareOfFootprint())
+		return r.TotalCycles
+	}
+
+	fmt.Println("BFS under pressure + 50% fragmentation:")
+	base := run("4KB pages", core.Base4K(), reorder.Identity)
+	linux := run("Linux THP (system-wide)", core.THPAlways(), reorder.Identity)
+	s20 := run("DBG + selective 20%", core.SelectiveTHP(0.2), reorder.DBG)
+	s100 := run("DBG + selective 100%", core.SelectiveTHP(1.0), reorder.DBG)
+
+	fmt.Println()
+	fmt.Printf("selective 20%% vs 4KB pages:  %.2fx\n", float64(base)/float64(s20))
+	fmt.Printf("selective 20%% vs Linux THP:  %.2fx\n", float64(linux)/float64(s20))
+	fmt.Printf("selective 100%% vs 4KB pages: %.2fx\n", float64(base)/float64(s100))
+	fmt.Println("\nThe programmer-guided prefix gets near-ideal performance out of a")
+	fmt.Println("few huge pages that Linux's policy would have spent on the edge array.")
+}

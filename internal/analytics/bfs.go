@@ -1,0 +1,51 @@
+package analytics
+
+// runBFS executes the paper's push-based frontier BFS (Fig. 4's
+// programming model): iterate the current worklist, read each vertex's
+// CSR offsets, stream its neighbor IDs from the edge array, and perform
+// the pointer-indirect read-modify-write of the property array entry for
+// every unvisited neighbor.
+func (img *Image) runBFS(root uint32) []int64 {
+	g := img.G
+	m := img.M
+
+	hops := make([]int64, g.N)
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[root] = 0
+
+	cur := make([]uint32, 0, g.N)
+	next := make([]uint32, 0, g.N)
+	cur = append(cur, root)
+	m.Access(img.workAddr(0, 0)) // push root
+	m.Access(img.propAddr(root)) // initialize root's property entry
+
+	level := int64(0)
+	buf := 0
+	for len(cur) > 0 {
+		level++
+		next = next[:0]
+		for i, v := range cur {
+			m.Access(img.workAddr(buf, i)) // pop v from the worklist
+			// Two adjacent offset reads delimit the neighbor run.
+			m.Access(img.vertexAddr(v))
+			m.Access(img.vertexAddr(v + 1))
+			lo, hi := g.Offsets[v], g.Offsets[v+1]
+			for e := lo; e < hi; e++ {
+				m.Access(img.edgeAddr(e)) // sequential neighbor fetch
+				w := g.Neighbors[e]
+				m.Access(img.propAddr(w)) // irregular property read
+				if hops[w] == -1 {
+					hops[w] = level
+					m.Access(img.propAddr(w)) // property write
+					m.Access(img.workAddr(1-buf, len(next)))
+					next = append(next, w)
+				}
+			}
+		}
+		cur, next = next, cur
+		buf = 1 - buf
+	}
+	return hops
+}

@@ -1,0 +1,74 @@
+package analytics
+
+import "math"
+
+// prDamping is the standard PageRank damping factor.
+const prDamping = 0.85
+
+// runPR executes push-based PageRank. Each property entry holds the
+// (rank, next-rank) pair for one vertex, so the irregular "scatter"
+// update next[w] += contrib(v) lands in the same property array whose
+// prefix the selective-THP policy covers. Iteration stops when the
+// largest per-vertex rank change falls below eps, or after maxIters.
+func (img *Image) runPR(eps float64, maxIters int) ([]float64, int) {
+	g := img.G
+	m := img.M
+	n := g.N
+
+	if eps <= 0 {
+		eps = 1e-4
+	}
+	if maxIters <= 0 {
+		maxIters = 10
+	}
+
+	rank := make([]float64, n)
+	nextRank := make([]float64, n)
+	init := 1 / float64(n)
+	base := (1 - prDamping) / float64(n)
+	for i := range rank {
+		rank[i] = init
+	}
+
+	// Simulated addresses: rank at propAddr(v), next-rank at +8.
+	iters := 0
+	for iters < maxIters {
+		iters++
+		for i := range nextRank {
+			nextRank[i] = 0
+		}
+		for v := uint32(0); int(v) < n; v++ {
+			m.Access(img.vertexAddr(v))
+			m.Access(img.vertexAddr(v + 1))
+			lo, hi := g.Offsets[v], g.Offsets[v+1]
+			deg := hi - lo
+			if deg == 0 {
+				continue
+			}
+			m.Access(img.propAddr(v)) // sequential read of rank[v]
+			contrib := prDamping * rank[v] / float64(deg)
+			for e := lo; e < hi; e++ {
+				m.Access(img.edgeAddr(e))
+				w := g.Neighbors[e]
+				// Irregular read-modify-write of next-rank[w].
+				m.Access(img.propAddr(w) + 8)
+				nextRank[w] += contrib
+			}
+		}
+		var maxDelta float64
+		for v := 0; v < n; v++ {
+			nr := nextRank[v] + base
+			if d := math.Abs(nr - rank[v]); d > maxDelta {
+				maxDelta = d
+			}
+			rank[v] = nr
+			// Sequential pass folding next into rank: one property
+			// write per vertex.
+			m.Access(img.propAddr(uint32(v)))
+		}
+		if maxDelta < eps {
+			break
+		}
+	}
+	return rank, iters
+}

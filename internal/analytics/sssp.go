@@ -1,0 +1,58 @@
+package analytics
+
+// runSSSP executes frontier-based Bellman–Ford relaxation: like BFS but
+// reading the values (weight) array alongside each neighbor and
+// re-enqueueing vertices whose distance improves. A membership bitmap
+// deduplicates frontier insertions, as work-efficient CPU
+// implementations do.
+func (img *Image) runSSSP(root uint32) []int64 {
+	g := img.G
+	m := img.M
+
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = -1 // unreached
+	}
+	dist[root] = 0
+
+	inNext := make([]bool, g.N)
+	cur := make([]uint32, 0, g.N)
+	next := make([]uint32, 0, g.N)
+	cur = append(cur, root)
+	m.Access(img.workAddr(0, 0))
+	m.Access(img.propAddr(root))
+
+	buf := 0
+	for len(cur) > 0 {
+		next = next[:0]
+		for i, v := range cur {
+			m.Access(img.workAddr(buf, i))
+			m.Access(img.vertexAddr(v))
+			m.Access(img.vertexAddr(v + 1))
+			dv := dist[v]
+			lo, hi := g.Offsets[v], g.Offsets[v+1]
+			for e := lo; e < hi; e++ {
+				m.Access(img.edgeAddr(e))
+				m.Access(img.valueAddr(e))
+				w := g.Neighbors[e]
+				nd := dv + int64(g.Weights[e])
+				m.Access(img.propAddr(w)) // property read
+				if dist[w] == -1 || nd < dist[w] {
+					dist[w] = nd
+					m.Access(img.propAddr(w)) // property write
+					if !inNext[w] {
+						inNext[w] = true
+						m.Access(img.workAddr(1-buf, len(next)))
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		for _, w := range next {
+			inNext[w] = false
+		}
+		cur, next = next, cur
+		buf = 1 - buf
+	}
+	return dist
+}

@@ -1,0 +1,193 @@
+// Package cache models the data-side cache hierarchy with two
+// set-associative levels (L1D and LLC) of 64-byte lines, physically
+// indexed. The model exists to keep relative performance honest: the
+// paper notes that degree-based reordering improves on-chip locality as
+// well as TLB behaviour, and both effects must be present for the
+// headline ratios to have the right shape.
+package cache
+
+import "fmt"
+
+// LineShift is log2 of the cache line size (64B lines).
+const LineShift = 6
+
+// LevelConfig sizes one cache level.
+type LevelConfig struct {
+	Bytes int
+	Ways  int
+}
+
+// Config describes the data cache hierarchy.
+type Config struct {
+	Name string
+	L1D  LevelConfig
+	LLC  LevelConfig
+}
+
+// Haswell returns a per-core view of the paper machine's data caches:
+// 32KB 8-way L1D and a 2.5MB LLC slice. (We model a single-threaded run,
+// so one core's LLC slice share is the capacity that matters; the paper
+// pins the application to one socket.)
+func Haswell() Config {
+	return Config{
+		Name: "haswell",
+		L1D:  LevelConfig{Bytes: 32 << 10, Ways: 8},
+		LLC:  LevelConfig{Bytes: 2560 << 10, Ways: 20},
+	}
+}
+
+// Scaled divides capacities by div, preserving line size and clamping to
+// one set.
+func Scaled(c Config, div int) Config {
+	sc := func(l LevelConfig) LevelConfig {
+		b := l.Bytes / div
+		if b < 64*l.Ways {
+			b = 64 * l.Ways
+		}
+		// Round the set count down to a power of two (line size and
+		// associativity are preserved).
+		sets := b / (64 * l.Ways)
+		for sets&(sets-1) != 0 {
+			sets &= sets - 1
+		}
+		return LevelConfig{Bytes: sets * 64 * l.Ways, Ways: l.Ways}
+	}
+	return Config{Name: fmt.Sprintf("%s/%d", c.Name, div), L1D: sc(c.L1D), LLC: sc(c.LLC)}
+}
+
+// Stats counts hierarchy activity.
+type Stats struct {
+	Accesses uint64
+	L1Misses uint64
+	LLCMiss  uint64 // DRAM accesses
+}
+
+// L1MissRate returns L1 misses / accesses.
+func (s Stats) L1MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.L1Misses) / float64(s.Accesses)
+}
+
+// LLCMissRate returns DRAM accesses / accesses.
+func (s Stats) LLCMissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.LLCMiss) / float64(s.Accesses)
+}
+
+type level struct {
+	setsMask uint64
+	ways     int
+	tags     []uint64
+	stamp    []uint32
+	clock    uint32
+}
+
+func newLevel(c LevelConfig) *level {
+	lines := c.Bytes >> LineShift
+	if lines%c.Ways != 0 {
+		panic(fmt.Sprintf("cache: %d lines not divisible by %d ways", lines, c.Ways))
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	return &level{
+		setsMask: uint64(sets - 1),
+		ways:     c.Ways,
+		tags:     make([]uint64, lines),
+		stamp:    make([]uint32, lines),
+	}
+}
+
+func (l *level) access(line uint64) bool {
+	tag := line + 1
+	base := int(line&l.setsMask) * l.ways
+	victim, oldest := base, uint32(0xFFFFFFFF)
+	for w := 0; w < l.ways; w++ {
+		i := base + w
+		if l.tags[i] == tag {
+			l.clock++
+			l.stamp[i] = l.clock
+			return true
+		}
+		if l.tags[i] == 0 {
+			if oldest != 0 {
+				victim, oldest = i, 0
+			}
+			continue
+		}
+		if l.stamp[i] < oldest {
+			victim, oldest = i, l.stamp[i]
+		}
+	}
+	l.clock++
+	l.tags[victim] = tag
+	l.stamp[victim] = l.clock
+	return false
+}
+
+func (l *level) reset() {
+	for i := range l.tags {
+		l.tags[i] = 0
+		l.stamp[i] = 0
+	}
+	l.clock = 0
+}
+
+// Hierarchy is a live two-level data cache.
+type Hierarchy struct {
+	cfg   Config
+	l1    *level
+	llc   *level
+	stats Stats
+}
+
+// New builds a hierarchy.
+func New(cfg Config) *Hierarchy {
+	return &Hierarchy{cfg: cfg, l1: newLevel(cfg.L1D), llc: newLevel(cfg.LLC)}
+}
+
+// Config returns the configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a copy of the counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetStats zeroes counters, keeping cache contents.
+func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+
+// Reset clears contents and counters.
+func (h *Hierarchy) Reset() {
+	h.l1.reset()
+	h.llc.reset()
+	h.stats = Stats{}
+}
+
+// AccessLevel tells the caller which level satisfied an access.
+type AccessLevel uint8
+
+const (
+	HitL1 AccessLevel = iota
+	HitLLC
+	HitDRAM
+)
+
+// Access simulates a data access to physical address pa and reports
+// which level served it. Fills are performed along the way (inclusive).
+func (h *Hierarchy) Access(pa uint64) AccessLevel {
+	h.stats.Accesses++
+	line := pa >> LineShift
+	if h.l1.access(line) {
+		return HitL1
+	}
+	h.stats.L1Misses++
+	if h.llc.access(line) {
+		return HitLLC
+	}
+	h.stats.LLCMiss++
+	return HitDRAM
+}

@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"fmt"
+
+	"graphmem/internal/analytics"
+	"graphmem/internal/core"
+	"graphmem/internal/gen"
+	"graphmem/internal/reorder"
+)
+
+// Example demonstrates the library's central workflow: run the same
+// workload under the 4KB baseline and under Linux's THP policy, and
+// compare.
+func Example() {
+	g := gen.Generate(gen.Wiki, gen.ScaleTest, false)
+
+	run := func(p core.Policy) *core.RunResult {
+		r, err := core.Run(core.RunSpec{
+			Graph:   g,
+			App:     analytics.BFS,
+			Reorder: reorder.Identity,
+			Order:   analytics.Natural,
+			Policy:  p,
+			Env:     core.FreshBoot(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		return r
+	}
+
+	base := run(core.Base4K())
+	thp := run(core.THPAlways())
+	fmt.Println("same BFS result:", len(base.Output.Hops) == len(thp.Output.Hops))
+	fmt.Println("baseline used huge pages:", base.TotalHugeBytes > 0)
+	// Output:
+	// same BFS result: true
+	// baseline used huge pages: false
+}
+
+// ExampleSelectiveTHP shows the paper's §5.2 strategy: degree-based
+// grouping plus MADV_HUGEPAGE over a prefix of the property array.
+func ExampleSelectiveTHP() {
+	g := gen.Generate(gen.Kron25, gen.ScaleTest, false)
+	r, err := core.Run(core.RunSpec{
+		Graph:   g,
+		App:     analytics.BFS,
+		Reorder: reorder.DBG, // hot vertices to the front
+		Order:   analytics.Natural,
+		Policy:  core.SelectiveTHP(0.2), // huge pages on the first 20%
+		Env:     core.Fragmented(1<<20, 0.5),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("policy:", r.Spec.Policy.Name)
+	fmt.Println("preprocessing charged:", r.PreprocessCycles > 0)
+	// Output:
+	// policy: sel-20
+	// preprocessing charged: true
+}
+
+// ExamplePressured shows how environments model the paper's memhog
+// experiments: the free memory beyond the working set is the knob.
+func ExamplePressured() {
+	env := core.Pressured(8 << 20) // WSS + 8MB free
+	fmt.Println("aged fraction:", env.AgedFraction)
+	fmt.Println("delta MB:", env.PressureDelta>>20)
+	// Output:
+	// aged fraction: 0.125
+	// delta MB: 8
+}

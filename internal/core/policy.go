@@ -1,0 +1,211 @@
+// Package core is the library's top-level API: it expresses the paper's
+// page-size-management strategies as composable policies and runs graph
+// workloads under them on the simulated machine, returning the runtime
+// and translation statistics the evaluation reports.
+//
+// The headline strategy — degree-aware preprocessing plus selective huge
+// pages over the hot prefix of the property array — is
+// SelectiveTHP(pct) combined with reorder.DBG.
+package core
+
+import (
+	"fmt"
+
+	"graphmem/internal/oskernel"
+)
+
+// Engine selects which huge page management engine the kernel runs.
+type Engine uint8
+
+const (
+	// EngineLinux is the stock Linux THP machinery.
+	EngineLinux Engine = iota
+	// EngineIngens is the utilization-threshold baseline (OSDI'16).
+	EngineIngens
+	// EngineHawkEye is the access-heat-ranked baseline (ASPLOS'19).
+	EngineHawkEye
+)
+
+// Policy describes one page-size management configuration: the
+// system-wide THP mode plus any programmer-directed madvise calls
+// applied to the workload's arrays before they are faulted in.
+type Policy struct {
+	// Name labels results tables.
+	Name string
+
+	// Engine picks the kernel management engine (Linux by default).
+	Engine Engine
+
+	// Mode is the system-wide THP setting.
+	Mode oskernel.THPMode
+
+	// Defrag is the fault-time defragmentation effort setting.
+	Defrag oskernel.DefragMode
+
+	// Advise* apply MADV_HUGEPAGE to whole arrays (the paper's Fig. 5
+	// per-data-structure analysis).
+	AdviseVertex bool
+	AdviseEdge   bool
+	AdviseValues bool
+	AdviseWork   bool
+
+	// PropPercent in (0,1] applies MADV_HUGEPAGE to the leading
+	// fraction of the property array — the paper's selective THP knob
+	// (s). Zero leaves the property array unadvised.
+	PropPercent float64
+
+	// AutoBudgetBytes, when non-zero, derives the madvise plan
+	// automatically: the runner profiles the graph's in-degree
+	// distribution and advises the hottest property-array regions that
+	// fit the budget — the paper's "automated runtime systems" future
+	// direction, made possible because in-degree is a static oracle
+	// for property access frequency. Unlike PropPercent it needs no
+	// prior reordering: it finds the hot regions wherever they are.
+	AutoBudgetBytes uint64
+
+	// AutoCoverage, when in (0,1], instead sizes the plan to capture
+	// that fraction of the estimated property accesses.
+	AutoCoverage float64
+
+	// DisableKhugepaged turns off background promotion (for ablation
+	// studies isolating fault-time allocation).
+	DisableKhugepaged bool
+
+	// HugetlbProp backs the advised property prefix with a boot-time
+	// hugetlbfs reservation instead of opportunistic THP: guaranteed
+	// huge pages under any pressure or fragmentation, at the cost of
+	// permanently reserving the memory (§2.3's explicit mechanism).
+	HugetlbProp bool
+}
+
+// Base4K is the paper's baseline: THP disabled system-wide.
+func Base4K() Policy {
+	return Policy{Name: "4k", Mode: oskernel.ModeNever, Defrag: oskernel.DefragNever}
+}
+
+// THPAlways is Linux's transparent huge page policy with the default
+// defrag=madvise setting — the paper's "Linux THP" configuration.
+func THPAlways() Policy {
+	return Policy{Name: "thp", Mode: oskernel.ModeAlways, Defrag: oskernel.DefragMadvise}
+}
+
+// PerStructure advises huge pages for exactly one array under
+// THP=madvise (Fig. 5). structName is one of "vertex", "edge",
+// "values", "prop".
+func PerStructure(structName string) Policy {
+	p := Policy{
+		Name:   "thp-" + structName,
+		Mode:   oskernel.ModeMadvise,
+		Defrag: oskernel.DefragMadvise,
+	}
+	switch structName {
+	case "vertex":
+		p.AdviseVertex = true
+	case "edge":
+		p.AdviseEdge = true
+	case "values":
+		p.AdviseValues = true
+	case "prop":
+		p.PropPercent = 1
+	default:
+		panic(fmt.Sprintf("core: unknown structure %q", structName))
+	}
+	return p
+}
+
+// SelectiveTHP advises huge pages for the leading pct (0..1] of the
+// property array only, under THP=madvise — the paper's §5.2 strategy.
+// Pair with reorder.DBG so the hot vertices occupy that prefix.
+func SelectiveTHP(pct float64) Policy {
+	if pct <= 0 || pct > 1 {
+		panic(fmt.Sprintf("core: SelectiveTHP pct %v out of (0,1]", pct))
+	}
+	return Policy{
+		Name:        fmt.Sprintf("sel-%d", int(pct*100+0.5)),
+		Mode:        oskernel.ModeMadvise,
+		Defrag:      oskernel.DefragMadvise,
+		PropPercent: pct,
+	}
+}
+
+// AutoTHP advises the hottest property-array regions fitting a huge
+// page budget, chosen by static in-degree profiling (no reordering or
+// manual tuning required).
+func AutoTHP(budgetBytes uint64) Policy {
+	if budgetBytes == 0 {
+		panic("core: AutoTHP with zero budget")
+	}
+	return Policy{
+		Name:            fmt.Sprintf("auto-%dM", budgetBytes>>20),
+		Mode:            oskernel.ModeMadvise,
+		Defrag:          oskernel.DefragMadvise,
+		AutoBudgetBytes: budgetBytes,
+	}
+}
+
+// AutoTHPCoverage sizes the automatic plan to capture the given
+// fraction of estimated property-array accesses.
+func AutoTHPCoverage(frac float64) Policy {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("core: AutoTHPCoverage frac %v out of (0,1]", frac))
+	}
+	return Policy{
+		Name:         fmt.Sprintf("auto-cov%d", int(frac*100+0.5)),
+		Mode:         oskernel.ModeMadvise,
+		Defrag:       oskernel.DefragMadvise,
+		AutoCoverage: frac,
+	}
+}
+
+// HugetlbSelective is SelectiveTHP backed by an explicit boot-time
+// hugetlbfs reservation sized to the advised prefix: the guaranteed-
+// but-inflexible alternative the paper contrasts THP against in §2.3.
+func HugetlbSelective(pct float64) Policy {
+	p := SelectiveTHP(pct)
+	p.Name = fmt.Sprintf("hugetlb-%d", int(pct*100+0.5))
+	p.HugetlbProp = true
+	return p
+}
+
+// IngensLike is the utilization-threshold huge page manager from the
+// paper's related work: no fault-time huge pages, asynchronous promotion
+// of ≥90%-populated regions.
+func IngensLike() Policy {
+	return Policy{
+		Name:   "ingens",
+		Engine: EngineIngens,
+		Mode:   oskernel.ModeAlways,
+		Defrag: oskernel.DefragMadvise,
+	}
+}
+
+// HawkEyeLike is the access-heat-driven manager from the paper's related
+// work: no fault-time huge pages, hottest eligible regions promoted
+// first.
+func HawkEyeLike() Policy {
+	return Policy{
+		Name:   "hawkeye",
+		Engine: EngineHawkEye,
+		Mode:   oskernel.ModeAlways,
+		Defrag: oskernel.DefragMadvise,
+	}
+}
+
+// kernelConfig translates the policy into the OS configuration.
+func (p Policy) kernelConfig() oskernel.Config {
+	var cfg oskernel.Config
+	switch p.Engine {
+	case EngineIngens:
+		cfg = oskernel.IngensConfig()
+	case EngineHawkEye:
+		cfg = oskernel.HawkEyeConfig()
+	default:
+		cfg = oskernel.DefaultConfig()
+	}
+	cfg.Mode = p.Mode
+	cfg.Defrag = p.Defrag
+	if p.Mode == oskernel.ModeNever || p.DisableKhugepaged {
+		cfg.KhugepagedEnabled = false
+	}
+	return cfg
+}

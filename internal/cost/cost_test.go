@@ -1,0 +1,54 @@
+package cost
+
+import "testing"
+
+// orderings that every sane model must satisfy; the paper's crossovers
+// all derive from these inequalities.
+func checkOrdering(t *testing.T, name string, m Model) {
+	t.Helper()
+	if !(m.L1DHit < m.LLCHit && m.LLCHit < m.DRAM) {
+		t.Errorf("%s: cache hierarchy ordering broken", name)
+	}
+	if !(m.WalkLevelPWC < m.WalkLevel) {
+		t.Errorf("%s: PWC not cheaper than a memory walk level", name)
+	}
+	if !(m.STLBHit < m.WalkLevel*3) {
+		t.Errorf("%s: STLB hit not clearly cheaper than a walk", name)
+	}
+	if !(m.MinorFault4K < m.MinorFault2M) {
+		t.Errorf("%s: 2MB fault not costlier than 4KB fault", name)
+	}
+	if !(m.MinorFault2M < m.SwapInPage) {
+		t.Errorf("%s: swap I/O not dominating fault costs", name)
+	}
+	if m.CompactPerPage == 0 || m.ReclaimPerPage == 0 || m.PromotionCopy == 0 {
+		t.Errorf("%s: zero-cost memory management operation", name)
+	}
+	if m.PreprocPerVertex == 0 || m.PreprocPerEdge == 0 {
+		t.Errorf("%s: zero-cost preprocessing", name)
+	}
+}
+
+func TestDefaultOrdering(t *testing.T) { checkOrdering(t, "Default", Default()) }
+func TestFastOrdering(t *testing.T)    { checkOrdering(t, "Fast", Fast()) }
+
+// TestHugeFaultAmortizes: a 2MB fault must be cheaper than the 512 4KB
+// faults it replaces — otherwise THP could never win on init time.
+func TestHugeFaultAmortizes(t *testing.T) {
+	for _, m := range []Model{Default(), Fast()} {
+		if m.MinorFault2M >= 512*m.MinorFault4K {
+			t.Fatalf("2M fault %d not cheaper than 512 4K faults %d",
+				m.MinorFault2M, 512*m.MinorFault4K)
+		}
+	}
+}
+
+// TestSwapDominates: one swap I/O must exceed hundreds of DRAM
+// accesses, or the paper's order-of-magnitude oversubscription cliff
+// could not exist.
+func TestSwapDominates(t *testing.T) {
+	m := Default()
+	if m.SwapInPage < 500*m.DRAM {
+		t.Fatalf("swap %d vs DRAM %d: cliff impossible", m.SwapInPage, m.DRAM)
+	}
+}

@@ -1,0 +1,417 @@
+package exp
+
+import (
+	"fmt"
+
+	"graphmem/internal/analytics"
+	"graphmem/internal/cache"
+	"graphmem/internal/core"
+	"graphmem/internal/gen"
+	"graphmem/internal/reorder"
+	"graphmem/internal/stats"
+	"graphmem/internal/tlb"
+)
+
+// All speedups are end-to-end cycle ratios (preprocessing + init +
+// kernel), against the 4KB-pages fresh-boot baseline of the same
+// app/dataset, matching the paper's accounting.
+func (s *Suite) speedup(base *core.RunResult, r *core.RunResult) float64 {
+	return stats.Speedup(base.TotalCycles, r.TotalCycles)
+}
+
+func label(app analytics.App, ds gen.Dataset) string {
+	return fmt.Sprintf("%s/%s", app, ds)
+}
+
+// Fig1 — application speedup from Linux THP at fresh boot versus under
+// memory pressure (+0.5GB), relative to 4KB pages.
+func (s *Suite) Fig1() []*stats.Table {
+	t := stats.NewTable("Fig 1: Linux THP speedup over 4KB pages",
+		"config", "thp-fresh", "thp-pressured", "4k-pressured")
+	t.Note = "pressured = aged system, memhog leaves WSS+0.5GB(scaled); natural allocation order"
+	for _, app := range analytics.AllApps {
+		for _, ds := range gen.AllDatasets {
+			base := s.baseline(app, ds)
+			fresh := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()})
+			env := s.envPressured(app, ds, highPressureGB)
+			press := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: env})
+			press4k := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.Base4K(), env: env})
+			t.AddRow(label(app, ds),
+				stats.F(s.speedup(base, fresh), 3),
+				stats.F(s.speedup(base, press), 3),
+				stats.F(s.speedup(base, press4k), 3))
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// Fig2 — address translation overhead: the share of kernel-phase cycles
+// spent on STLB hits and page walks with 4KB pages, and with THP.
+func (s *Suite) Fig2() []*stats.Table {
+	t := stats.NewTable("Fig 2: address translation share of kernel runtime",
+		"config", "4k", "thp-fresh")
+	for _, app := range analytics.AllApps {
+		for _, ds := range gen.AllDatasets {
+			base := s.baseline(app, ds)
+			fresh := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()})
+			t.AddRow(label(app, ds),
+				stats.Pct(base.Kernel.TranslationShare()),
+				stats.Pct(fresh.Kernel.TranslationShare()))
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// Fig3 — DTLB and STLB miss rates, 4KB pages versus THP.
+func (s *Suite) Fig3() []*stats.Table {
+	t := stats.NewTable("Fig 3: TLB miss rates (kernel phase)",
+		"config", "4k-dtlb", "4k-stlb", "thp-dtlb", "thp-stlb")
+	t.Note = "stlb rate = page walks / TLB lookups, as in the paper's striped bars"
+	for _, app := range analytics.AllApps {
+		for _, ds := range gen.AllDatasets {
+			base := s.baseline(app, ds)
+			fresh := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()})
+			t.AddRow(label(app, ds),
+				stats.Pct(base.Kernel.TLB.DTLBMissRate()),
+				stats.Pct(base.Kernel.TLB.STLBMissRate()),
+				stats.Pct(fresh.Kernel.TLB.DTLBMissRate()),
+				stats.Pct(fresh.Kernel.TLB.STLBMissRate()))
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// Fig4 — per-data-structure access characterization (4KB pages): the
+// property array takes the most irregular (walk-causing) accesses, the
+// edge array the most accesses overall.
+func (s *Suite) Fig4() []*stats.Table {
+	t := stats.NewTable("Fig 4: per-array access breakdown (4KB pages, kernel phase)",
+		"config", "array", "accesses", "l1tlb-misses", "walks")
+	for _, app := range analytics.AllApps {
+		base := s.baseline(app, gen.Kron25)
+		for _, a := range base.Arrays {
+			t.AddRow(label(app, gen.Kron25), a.Name,
+				fmt.Sprint(a.Accesses), fmt.Sprint(a.L1Misses), fmt.Sprint(a.Walks))
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// Fig5 — madvise THP applied to one data structure at a time (BFS, no
+// memory pressure): the property array alone nearly matches system-wide
+// THP.
+func (s *Suite) Fig5() []*stats.Table {
+	t := stats.NewTable("Fig 5: per-structure THP speedups (BFS, fresh boot)",
+		"dataset", "thp-vertex", "thp-edge", "thp-prop", "thp-all")
+	for _, ds := range gen.AllDatasets {
+		base := s.baseline(analytics.BFS, ds)
+		row := []string{string(ds)}
+		for _, st := range []string{"vertex", "edge", "prop"} {
+			r := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.PerStructure(st), env: core.FreshBoot()})
+			row = append(row, stats.F(s.speedup(base, r), 3))
+		}
+		all := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+			order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()})
+		row = append(row, stats.F(s.speedup(base, all), 3))
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}
+}
+
+// Fig7 — high memory pressure (+0.5GB): natural versus graph-optimized
+// (property-first) allocation order.
+func (s *Suite) Fig7() []*stats.Table {
+	t := stats.NewTable("Fig 7: THP under high memory pressure (WSS+0.5GB scaled)",
+		"config", "thp-ideal", "thp-natural", "thp-optimized", "prop-huge-nat", "prop-huge-opt")
+	for _, app := range analytics.AllApps {
+		for _, ds := range gen.AllDatasets {
+			base := s.baseline(app, ds)
+			ideal := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()})
+			env := s.envPressured(app, ds, highPressureGB)
+			nat := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: env})
+			opt := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.PropFirst, policy: core.THPAlways(), env: env})
+			t.AddRow(label(app, ds),
+				stats.F(s.speedup(base, ideal), 3),
+				stats.F(s.speedup(base, nat), 3),
+				stats.F(s.speedup(base, opt), 3),
+				stats.MB(nat.PropHugeBytes),
+				stats.MB(opt.PropHugeBytes))
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// PressureSweep — §4.3.1: speedups across 8 pressure levels from
+// oversubscribed (−0.5GB) to +3GB, BFS on all datasets.
+func (s *Suite) PressureSweep() []*stats.Table {
+	levels := []float64{-0.5, 0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+	var tables []*stats.Table
+	for _, pol := range []struct {
+		name   string
+		policy core.Policy
+	}{
+		{"4k", core.Base4K()},
+		{"thp", core.THPAlways()},
+	} {
+		t := stats.NewTable(
+			fmt.Sprintf("§4.3.1 pressure sweep: %s speedup vs 4K fresh (BFS)", pol.name),
+			append([]string{"dataset"}, func() []string {
+				var h []string
+				for _, l := range levels {
+					h = append(h, fmt.Sprintf("%+.1fGB", l))
+				}
+				return h
+			}()...)...)
+		for _, ds := range gen.AllDatasets {
+			base := s.baseline(analytics.BFS, ds)
+			row := []string{string(ds)}
+			for _, l := range levels {
+				r := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+					order: analytics.Natural, policy: pol.policy,
+					env: s.envPressured(analytics.BFS, ds, l)})
+				row = append(row, stats.F(s.speedup(base, r), 3))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig8 — 50% non-movable fragmentation at low pressure (+3GB): natural
+// versus optimized allocation order.
+func (s *Suite) Fig8() []*stats.Table {
+	t := stats.NewTable("Fig 8: THP under 50% fragmentation (WSS+3GB scaled)",
+		"config", "thp-ideal", "thp-natural", "thp-optimized", "prop-huge-nat", "prop-huge-opt")
+	for _, app := range analytics.AllApps {
+		for _, ds := range gen.AllDatasets {
+			base := s.baseline(app, ds)
+			ideal := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()})
+			env := s.envFragmented(app, ds, lowPressureGB, 0.5)
+			nat := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: env})
+			opt := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.PropFirst, policy: core.THPAlways(), env: env})
+			t.AddRow(label(app, ds),
+				stats.F(s.speedup(base, ideal), 3),
+				stats.F(s.speedup(base, nat), 3),
+				stats.F(s.speedup(base, opt), 3),
+				stats.MB(nat.PropHugeBytes),
+				stats.MB(opt.PropHugeBytes))
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// Fig9 — fragmentation sweep {0,25,50,75}% for BFS: natural vs
+// optimized allocation order.
+func (s *Suite) Fig9() []*stats.Table {
+	levels := []float64{0, 0.25, 0.5, 0.75}
+	t := stats.NewTable("Fig 9: fragmentation sweep (BFS, WSS+3GB scaled)",
+		"dataset", "order", "frag-0%", "frag-25%", "frag-50%", "frag-75%")
+	for _, ds := range gen.AllDatasets {
+		base := s.baseline(analytics.BFS, ds)
+		for _, order := range []analytics.AllocOrder{analytics.Natural, analytics.PropFirst} {
+			row := []string{string(ds), order.String()}
+			for _, l := range levels {
+				r := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+					order: order, policy: core.THPAlways(),
+					env: s.envFragmented(analytics.BFS, ds, lowPressureGB, l)})
+				row = append(row, stats.F(s.speedup(base, r), 3))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// Fig10 — DBG preprocessing and selective THP under pressure+frag: the
+// paper's headline configuration matrix.
+func (s *Suite) Fig10() []*stats.Table {
+	t := stats.NewTable("Fig 10: DBG + selective THP (WSS+3GB scaled, 50% fragmentation)",
+		"config", "dbg-4k", "thp", "dbg+thp", "dbg+sel50", "dbg+sel100", "sel100-huge-share")
+	for _, app := range analytics.AllApps {
+		for _, ds := range gen.AllDatasets {
+			base := s.baseline(app, ds)
+			env := s.envFragmented(app, ds, lowPressureGB, 0.5)
+			dbg4k := s.run(runCfg{app: app, ds: ds, method: reorder.DBG,
+				order: analytics.Natural, policy: core.Base4K(), env: env})
+			thp := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: env})
+			dbgThp := s.run(runCfg{app: app, ds: ds, method: reorder.DBG,
+				order: analytics.Natural, policy: core.THPAlways(), env: env})
+			sel50 := s.run(runCfg{app: app, ds: ds, method: reorder.DBG,
+				order: analytics.Natural, policy: core.SelectiveTHP(0.5), env: env})
+			sel100 := s.run(runCfg{app: app, ds: ds, method: reorder.DBG,
+				order: analytics.Natural, policy: core.SelectiveTHP(1.0), env: env})
+			t.AddRow(label(app, ds),
+				stats.F(s.speedup(base, dbg4k), 3),
+				stats.F(s.speedup(base, thp), 3),
+				stats.F(s.speedup(base, dbgThp), 3),
+				stats.F(s.speedup(base, sel50), 3),
+				stats.F(s.speedup(base, sel100), 3),
+				stats.Pct(sel100.HugeShareOfFootprint()))
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// Fig11 — selectivity sweep: huge pages over 0–100% of the property
+// array, original versus DBG-reordered datasets (BFS).
+func (s *Suite) Fig11() []*stats.Table {
+	selLevels := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	t := stats.NewTable("Fig 11: selective THP sensitivity (BFS, WSS+3GB scaled, 50% frag)",
+		"dataset", "order", "s=0%", "s=20%", "s=40%", "s=60%", "s=80%", "s=100%")
+	for _, ds := range gen.AllDatasets {
+		base := s.baseline(analytics.BFS, ds)
+		env := s.envFragmented(analytics.BFS, ds, lowPressureGB, 0.5)
+		for _, method := range []reorder.Method{reorder.Identity, reorder.DBG} {
+			row := []string{string(ds), string(method)}
+			for _, sel := range selLevels {
+				policy := core.Base4K()
+				if sel > 0 {
+					policy = core.SelectiveTHP(sel)
+				}
+				r := s.run(runCfg{app: analytics.BFS, ds: ds, method: method,
+					order: analytics.Natural, policy: policy, env: env})
+				row = append(row, stats.F(s.speedup(base, r), 3))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// DBGOverhead — §5.1.2: preprocessing share of end-to-end runtime.
+func (s *Suite) DBGOverhead() []*stats.Table {
+	t := stats.NewTable("§5.1.2: DBG preprocessing overhead",
+		"config", "preproc-share")
+	for _, app := range analytics.AllApps {
+		for _, ds := range gen.AllDatasets {
+			env := s.envFragmented(app, ds, lowPressureGB, 0.5)
+			r := s.run(runCfg{app: app, ds: ds, method: reorder.DBG,
+				order: analytics.Natural, policy: core.SelectiveTHP(1.0), env: env})
+			t.AddRow(label(app, ds),
+				stats.Pct(float64(r.PreprocessCycles)/float64(r.TotalCycles)))
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// Headline — the abstract's summary metrics: speedup of the paper's
+// strategy (degree-aware preprocessing where it helps + selective THP)
+// over 4KB pages, the fraction of unbounded-THP performance achieved,
+// and the huge page share of application memory. Per §5.1.1, networks
+// whose hot vertices are naturally adjacent (Twitter, Wikipedia) don't
+// need DBG, so the strategy is the best of {orig, DBG} × {s=50, s=100},
+// preprocessing charged where used.
+func (s *Suite) Headline() []*stats.Table {
+	t := stats.NewTable("Headline: selective THP (+DBG where beneficial) under pressure+fragmentation",
+		"config", "strategy", "speedup-vs-4k", "speedup-vs-linux-thp", "pct-of-unbounded", "huge-mem-share")
+	var sp, vsLinux, ofUnbounded, share []float64
+	for _, app := range analytics.AllApps {
+		for _, ds := range gen.AllDatasets {
+			base := s.baseline(app, ds)
+			env := s.envFragmented(app, ds, lowPressureGB, 0.5)
+			var sel *core.RunResult
+			strategy := ""
+			for _, method := range []reorder.Method{reorder.Identity, reorder.DBG} {
+				for _, pct := range []float64{0.5, 1.0} {
+					r := s.run(runCfg{app: app, ds: ds, method: method,
+						order: analytics.Natural, policy: core.SelectiveTHP(pct), env: env})
+					if sel == nil || r.TotalCycles < sel.TotalCycles {
+						sel = r
+						strategy = fmt.Sprintf("%s+sel%d", method, int(pct*100))
+					}
+				}
+			}
+			linux := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: env})
+			unbounded := s.run(runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()})
+			a := s.speedup(base, sel)
+			b := stats.Speedup(linux.TotalCycles, sel.TotalCycles)
+			c := float64(unbounded.TotalCycles) / float64(sel.TotalCycles)
+			d := sel.HugeShareOfFootprint()
+			sp = append(sp, a)
+			vsLinux = append(vsLinux, b)
+			ofUnbounded = append(ofUnbounded, c)
+			share = append(share, d)
+			t.AddRow(label(app, ds), strategy, stats.F(a, 3), stats.F(b, 3), stats.Pct(c), stats.Pct(d))
+		}
+	}
+	lo, hi := stats.MinMax(sp)
+	l2, h2 := stats.MinMax(vsLinux)
+	l3, h3 := stats.MinMax(ofUnbounded)
+	l4, h4 := stats.MinMax(share)
+	t.Note = fmt.Sprintf(
+		"ranges: %.2f–%.2fx vs 4K (paper 1.26–1.57x); %.2f–%.2fx vs Linux THP (paper 1.18–1.49x); "+
+			"%.0f%%–%.0f%% of unbounded (paper 77.3–96.3%%); %.2f%%–%.2f%% huge memory (paper 0.58–2.92%%)",
+		lo, hi, l2, h2, 100*l3, 100*h3, 100*l4, 100*h4)
+	return []*stats.Table{t}
+}
+
+// PageCache — §4.3: single-use page cache interference during loading.
+func (s *Suite) PageCache() []*stats.Table {
+	t := stats.NewTable("§4.3: page cache interference (THP, BFS, WSS+1GB scaled)",
+		"dataset", "tmpfs-load", "page-cache-load", "huge-tmpfs", "huge-cached")
+	for _, ds := range gen.AllDatasets {
+		base := s.baseline(analytics.BFS, ds)
+		env := s.envPressured(analytics.BFS, ds, 1.0)
+		clean := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+			order: analytics.Natural, policy: core.THPAlways(), env: env})
+		g := s.graph(ds, false, reorder.Identity).g
+		dirty := env
+		// The CSR files (vertex + edge arrays) pass through the cache.
+		dirty.PageCacheBytes = uint64(len(g.Offsets))*8 + uint64(g.NumEdges())*4
+		cached := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+			order: analytics.Natural, policy: core.THPAlways(), env: dirty})
+		t.AddRow(string(ds),
+			stats.F(s.speedup(base, clean), 3),
+			stats.F(s.speedup(base, cached), 3),
+			stats.MB(clean.TotalHugeBytes),
+			stats.MB(cached.TotalHugeBytes))
+	}
+	return []*stats.Table{t}
+}
+
+// Table1 — the simulated machine's parameters.
+func (s *Suite) Table1() []*stats.Table {
+	h := tlb.Haswell()
+	c := cache.Haswell()
+	t := stats.NewTable("Table 1: simulated system parameters", "component", "value")
+	t.AddRow("L1 DTLB 4K", fmt.Sprintf("%d entries, %d-way", h.L1D4K.Entries, h.L1D4K.Ways))
+	t.AddRow("L1 DTLB 2M", fmt.Sprintf("%d entries, %d-way", h.L1D2M.Entries, h.L1D2M.Ways))
+	t.AddRow("STLB (unified)", fmt.Sprintf("%d entries, %d-way", h.STLB.Entries, h.STLB.Ways))
+	t.AddRow("PWC PDE/PDPTE/PML4E", fmt.Sprintf("%d/%d/%d entries",
+		h.PWCPDE.Entries, h.PWCPDPTE.Entries, h.PWCPML4E.Entries))
+	t.AddRow("L1D cache", fmt.Sprintf("%dKB, %d-way", c.L1D.Bytes>>10, c.L1D.Ways))
+	t.AddRow("LLC slice", fmt.Sprintf("%dKB, %d-way", c.LLC.Bytes>>10, c.LLC.Ways))
+	return []*stats.Table{t}
+}
+
+// Table2 — the dataset inventory with simulated footprints.
+func (s *Suite) Table2() []*stats.Table {
+	t := stats.NewTable("Table 2: applications and inputs (simulated scale)",
+		"app", "input", "nodes", "edges", "footprint", "paper-footprint")
+	for _, app := range analytics.AllApps {
+		for _, ds := range gen.AllDatasets {
+			e := s.graph(ds, app == analytics.SSSP, reorder.Identity)
+			t.AddRow(string(app), string(ds),
+				fmt.Sprint(e.g.N), fmt.Sprint(e.g.NumEdges()),
+				stats.MB(analytics.WSSBytes(app, e.g)),
+				fmt.Sprintf("%.1fGB", paperWSSGB[app][ds]))
+		}
+	}
+	return []*stats.Table{t}
+}

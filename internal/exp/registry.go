@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"graphmem/internal/stats"
+)
+
+// Experiment couples an id with its runner and description.
+type Experiment struct {
+	ID    string
+	Paper string // the paper artifact it reproduces
+	Desc  string
+	Run   func(*Suite) []*stats.Table
+}
+
+// Registry lists every experiment in presentation order.
+var Registry = []Experiment{
+	{"table1", "Table 1", "simulated system parameters", (*Suite).Table1},
+	{"table2", "Table 2", "applications and inputs", (*Suite).Table2},
+	{"fig1", "Fig. 1", "THP speedup: fresh boot vs memory pressure", (*Suite).Fig1},
+	{"fig2", "Fig. 2", "address translation overhead share", (*Suite).Fig2},
+	{"fig3", "Fig. 3", "TLB miss rates, 4KB vs THP", (*Suite).Fig3},
+	{"fig4", "Fig. 4", "per-data-structure access breakdown", (*Suite).Fig4},
+	{"fig5", "Fig. 5", "per-structure madvise THP speedups (BFS)", (*Suite).Fig5},
+	{"fig6", "Fig. 6", "huge page supply timeline during initialization", (*Suite).Fig6},
+	{"fig7", "Fig. 7", "high pressure: natural vs optimized allocation order", (*Suite).Fig7},
+	{"sweep", "§4.3.1", "memory pressure sweep incl. oversubscription", (*Suite).PressureSweep},
+	{"fig8", "Fig. 8", "50% fragmentation: natural vs optimized order", (*Suite).Fig8},
+	{"fig9", "Fig. 9", "fragmentation level sweep (BFS)", (*Suite).Fig9},
+	{"fig10", "Fig. 10", "DBG + selective THP under pressure+frag", (*Suite).Fig10},
+	{"fig11", "Fig. 11", "selective THP sensitivity sweep (BFS)", (*Suite).Fig11},
+	{"dbg", "§5.1.2", "DBG preprocessing overhead", (*Suite).DBGOverhead},
+	{"headline", "Abstract", "headline metrics vs the paper's ranges", (*Suite).Headline},
+	{"pagecache", "§4.3", "page cache single-use memory interference", (*Suite).PageCache},
+	{"ext-baselines", "Related work", "Ingens/HawkEye-style engines vs selective THP", (*Suite).Baselines},
+	{"ext-auto", "§7 future work", "automatic profile-guided madvise plans", (*Suite).AutoSelective},
+	{"ext-cc", "§3.2", "Connected Components extension workload", (*Suite).CCWorkload},
+	{"ext-grid", "control", "road-network negative control", (*Suite).GridControl},
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAndRender executes the selected experiments (all when ids is
+// empty), streaming rendered text tables to out and returning the
+// tables keyed by experiment for further formatting.
+func RunAndRender(s *Suite, ids []string, out io.Writer) (map[string][]*stats.Table, error) {
+	selected := Registry
+	if len(ids) > 0 {
+		selected = nil
+		for _, id := range ids {
+			e, ok := Find(strings.TrimSpace(id))
+			if !ok {
+				return nil, fmt.Errorf("exp: unknown experiment %q (known: %s)", id, knownIDs())
+			}
+			selected = append(selected, e)
+		}
+	}
+	results := make(map[string][]*stats.Table, len(selected))
+	for _, e := range selected {
+		fmt.Fprintf(out, "\n### %s (%s): %s\n", e.ID, e.Paper, e.Desc)
+		tables := e.Run(s)
+		results[e.ID] = tables
+		for _, t := range tables {
+			fmt.Fprintln(out, t.String())
+		}
+	}
+	return results, nil
+}
+
+func knownIDs() string {
+	ids := make([]string, len(Registry))
+	for i, e := range Registry {
+		ids[i] = e.ID
+	}
+	return strings.Join(ids, ", ")
+}

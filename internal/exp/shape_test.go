@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"testing"
+
+	"graphmem/internal/analytics"
+	"graphmem/internal/core"
+	"graphmem/internal/gen"
+	"graphmem/internal/reorder"
+)
+
+// shapeSuite runs at full scale on the paper's Haswell TLB geometry;
+// the assertions need property arrays spanning multiple 2MB regions,
+// which bench-scale graphs do not have. The full test takes a couple of
+// minutes and is skipped under -short.
+func shapeSuite() *Suite {
+	s := NewSuite(gen.ScaleFull, nil)
+	s.PRMaxIters = 2
+	return s
+}
+
+// TestPaperShape asserts DESIGN.md §5's validation targets — the
+// qualitative claims of the paper — on the Kronecker BFS configuration.
+// It is the regression net for the whole model: if a change to the
+// allocator, policy engine, or cost model breaks any paper-shape
+// property, this fails.
+func TestPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	s := shapeSuite()
+	const ds = gen.Kron25
+
+	base := s.baseline(analytics.BFS, ds)
+	thpFresh := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+		order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()})
+
+	// 1. Fresh-boot THP cuts the DTLB miss rate and beats the baseline.
+	if r := thpFresh.Kernel.TLB.DTLBMissRate(); r > base.Kernel.TLB.DTLBMissRate()/2 {
+		t.Errorf("THP dtlb %.3f not under half of 4K %.3f",
+			r, base.Kernel.TLB.DTLBMissRate())
+	}
+	if thpFresh.TotalCycles >= base.TotalCycles {
+		t.Error("THP fresh not faster than 4K")
+	}
+
+	// 2. Per-structure: property-only ≈ system-wide; edge-only ≪ that.
+	prop := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+		order: analytics.Natural, policy: core.PerStructure("prop"), env: core.FreshBoot()})
+	edge := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+		order: analytics.Natural, policy: core.PerStructure("edge"), env: core.FreshBoot()})
+	gainAll := float64(base.TotalCycles) / float64(thpFresh.TotalCycles)
+	gainProp := float64(base.TotalCycles) / float64(prop.TotalCycles)
+	gainEdge := float64(base.TotalCycles) / float64(edge.TotalCycles)
+	if gainProp < 1+(gainAll-1)*0.6 {
+		t.Errorf("prop-only gain %.3f too far below system-wide %.3f", gainProp, gainAll)
+	}
+	if gainEdge >= gainProp {
+		t.Errorf("edge-only gain %.3f not below prop-only %.3f", gainEdge, gainProp)
+	}
+
+	// 3. Pressure erodes THP; optimized allocation order recovers it.
+	envHigh := s.envPressured(analytics.BFS, ds, highPressureGB)
+	nat := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+		order: analytics.Natural, policy: core.THPAlways(), env: envHigh})
+	opt := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+		order: analytics.PropFirst, policy: core.THPAlways(), env: envHigh})
+	if nat.PropHugeBytes >= opt.PropHugeBytes {
+		t.Errorf("natural order prop huge %d not below optimized %d",
+			nat.PropHugeBytes, opt.PropHugeBytes)
+	}
+	if nat.TotalCycles <= opt.TotalCycles {
+		t.Error("natural order not slower than optimized under pressure")
+	}
+
+	// 4. Fragmentation sweep: THP-natural decays as frag rises.
+	envFrag := func(level float64) core.Environment {
+		return s.envFragmented(analytics.BFS, ds, lowPressureGB, level)
+	}
+	prev := uint64(0)
+	for _, level := range []float64{0, 0.5, 0.75} {
+		r := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+			order: analytics.Natural, policy: core.THPAlways(), env: envFrag(level)})
+		if r.TotalCycles < prev {
+			t.Errorf("THP at frag %.0f%% faster than at lower level", level*100)
+		}
+		prev = r.TotalCycles
+	}
+
+	// 5. DBG + selective beats Linux THP under pressure+frag with a
+	// small huge page budget.
+	sel := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.DBG,
+		order: analytics.Natural, policy: core.SelectiveTHP(0.5), env: envFrag(0.5)})
+	linux := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+		order: analytics.Natural, policy: core.THPAlways(), env: envFrag(0.5)})
+	if sel.TotalCycles >= linux.TotalCycles {
+		t.Errorf("selective %d not faster than Linux THP %d under pressure+frag",
+			sel.TotalCycles, linux.TotalCycles)
+	}
+	if share := sel.HugeShareOfFootprint(); share > 0.15 {
+		t.Errorf("selective used %.1f%% of footprint as huge pages, want small", share*100)
+	}
+
+	// 6. Oversubscription: order-of-magnitude slowdown.
+	over := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+		order: analytics.Natural, policy: core.Base4K(),
+		env: s.envPressured(analytics.BFS, ds, -0.5)})
+	if slow := float64(over.TotalCycles) / float64(base.TotalCycles); slow < 3 {
+		t.Errorf("oversubscription slowdown only %.1fx", slow)
+	}
+	if over.OS.SwapIns == 0 {
+		t.Error("oversubscription produced no swap traffic")
+	}
+}
+
+// TestShapeBaselineInsensitiveToEnvironment: the paper's green bars —
+// 4KB-page performance is unaffected by pressure and fragmentation (as
+// long as memory is not oversubscribed).
+func TestShapeBaselineInsensitiveToEnvironment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	s := shapeSuite()
+	const ds = gen.Wiki
+	base := s.baseline(analytics.BFS, ds)
+	for i, env := range []core.Environment{
+		s.envPressured(analytics.BFS, ds, highPressureGB),
+		s.envFragmented(analytics.BFS, ds, lowPressureGB, 0.75),
+	} {
+		r := s.run(runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+			order: analytics.Natural, policy: core.Base4K(), env: env})
+		ratio := float64(r.KernelCycles) / float64(base.KernelCycles)
+		if ratio > 1.05 || ratio < 0.95 {
+			t.Errorf("env %d moved the 4K baseline by %.1f%%", i, 100*(ratio-1))
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package exp defines the paper's experiments — one per figure/table of
+// the evaluation — on top of the core library, with run memoization so
+// figures that share configurations (e.g. Figs. 1–3) reuse each other's
+// runs.
+//
+// Memory-pressure levels are specified in the paper's units (GB of
+// slack beyond the working set on their 3–25GB footprints) and scaled to
+// the simulated working set through Table 2's footprints, so "+0.5GB on
+// Twitter/BFS" stresses the simulated run exactly as hard, relatively,
+// as it stressed the paper's machine.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"graphmem/internal/analytics"
+	"graphmem/internal/core"
+	"graphmem/internal/gen"
+	"graphmem/internal/graph"
+	"graphmem/internal/reorder"
+	"graphmem/internal/tlb"
+)
+
+// paperWSSGB is Table 2's memory footprints (GB).
+var paperWSSGB = map[analytics.App]map[gen.Dataset]float64{
+	analytics.BFS:  {gen.Kron25: 8.5, gen.Twit: 16, gen.Web: 16.5, gen.Wiki: 3},
+	analytics.SSSP: {gen.Kron25: 12.5, gen.Twit: 24, gen.Web: 25, gen.Wiki: 5},
+	analytics.PR:   {gen.Kron25: 9, gen.Twit: 16, gen.Web: 17, gen.Wiki: 3},
+}
+
+// Pressure levels used across the suite, in paper GB.
+const (
+	highPressureGB = 0.5 // Fig. 7's "+0.5GB"
+	lowPressureGB  = 3.0 // Figs. 8–11's "+3GB"
+)
+
+// Suite runs experiments at a chosen scale, caching datasets (original
+// and reordered) and memoizing individual runs.
+type Suite struct {
+	Scale gen.Scale
+	// PRMaxIters caps PageRank iterations. Every configuration of one
+	// comparison runs the same number of iterations, so speedups are
+	// unaffected; the cap only bounds simulation time.
+	PRMaxIters int
+	// Log receives progress lines (one per fresh run); nil silences.
+	Log io.Writer
+	// TLB optionally overrides the hardware TLB geometry for every run
+	// (zero value = the paper's Haswell hierarchy). Shape tests use a
+	// scaled hierarchy so bench-sized graphs exert full-sized pressure.
+	TLB tlb.Config
+
+	graphs map[graphKey]*graphEntry
+	runs   map[string]*core.RunResult
+}
+
+// NewSuite constructs a suite. ScaleFull reproduces the paper's
+// geometry; ScaleBench is for quick looks and benchmarks.
+func NewSuite(scale gen.Scale, log io.Writer) *Suite {
+	return &Suite{
+		Scale:      scale,
+		PRMaxIters: 3,
+		Log:        log,
+		graphs:     make(map[graphKey]*graphEntry),
+		runs:       make(map[string]*core.RunResult),
+	}
+}
+
+type graphKey struct {
+	ds       gen.Dataset
+	weighted bool
+	method   reorder.Method
+}
+
+type graphEntry struct {
+	g    *graph.Graph
+	cost reorder.Cost
+	root uint32
+}
+
+func (s *Suite) graph(ds gen.Dataset, weighted bool, method reorder.Method) *graphEntry {
+	k := graphKey{ds, weighted, method}
+	if e, ok := s.graphs[k]; ok {
+		return e
+	}
+	var e graphEntry
+	if method == reorder.Identity {
+		e.g = gen.Generate(ds, s.Scale, weighted)
+	} else {
+		base := s.graph(ds, weighted, reorder.Identity)
+		e.g, e.cost = reorder.Apply(base.g, method, 1)
+	}
+	e.root = e.g.MaxDegreeVertex()
+	s.graphs[k] = &e
+	return &e
+}
+
+// runCfg names one full configuration.
+type runCfg struct {
+	app    analytics.App
+	ds     gen.Dataset
+	method reorder.Method
+	order  analytics.AllocOrder
+	policy core.Policy
+	env    core.Environment
+}
+
+func (c runCfg) key() string {
+	return fmt.Sprintf("%s|%s|%s|%v|%s|%.3f|%+v",
+		c.app, c.ds, c.method, c.order, c.policy.Name, c.policy.PropPercent, c.env)
+}
+
+// run executes (or recalls) one configuration.
+func (s *Suite) run(c runCfg) *core.RunResult {
+	k := c.key()
+	if r, ok := s.runs[k]; ok {
+		return r
+	}
+	e := s.graph(c.ds, c.app == analytics.SSSP, c.method)
+	spec := core.RunSpec{
+		Graph:   e.g,
+		App:     c.app,
+		Reorder: c.method,
+		Order:   c.order,
+		Policy:  c.policy,
+		Env:     c.env,
+		TLB:     s.TLB,
+		Run: analytics.RunOptions{
+			Root:       e.root,
+			PREpsilon:  1e-4,
+			PRMaxIters: s.PRMaxIters,
+		},
+	}
+	if c.method != reorder.Identity {
+		cost := e.cost
+		spec.PreReorderCost = &cost
+	}
+	r, err := core.Run(spec)
+	if err != nil {
+		panic(fmt.Sprintf("exp: run %s: %v", k, err))
+	}
+	s.runs[k] = r
+	if s.Log != nil {
+		fmt.Fprintf(s.Log, "  ran %-4s %-4s %-4s %-10s order=%-10s cycles=%d\n",
+			c.app, c.ds, c.method, c.policy.Name, c.order, r.TotalCycles)
+	}
+	return r
+}
+
+// delta converts a paper-scale pressure level (GB beyond the WSS on the
+// paper machine) to simulated bytes for one app/dataset configuration.
+func (s *Suite) delta(app analytics.App, ds gen.Dataset, paperGB float64) int64 {
+	e := s.graph(ds, app == analytics.SSSP, reorder.Identity)
+	wssSim := float64(analytics.WSSBytes(app, e.g))
+	paper := paperWSSGB[app][ds]
+	if paper == 0 {
+		// Extension workloads (e.g. CC) have no Table 2 row; their
+		// footprints match BFS's, so scale through that.
+		paper = paperWSSGB[analytics.BFS][ds]
+	}
+	return int64(paperGB * (1 << 30) * wssSim / (paper * (1 << 30)))
+}
+
+// envPressured is the paper's constrained-memory environment at a
+// paper-scale delta.
+func (s *Suite) envPressured(app analytics.App, ds gen.Dataset, paperGB float64) core.Environment {
+	return core.Pressured(s.delta(app, ds, paperGB))
+}
+
+// envFragmented is the paper's fragmentation environment: low pressure
+// plus non-movable fragmentation of the available memory.
+func (s *Suite) envFragmented(app analytics.App, ds gen.Dataset, paperGB, level float64) core.Environment {
+	return core.Fragmented(s.delta(app, ds, paperGB), level)
+}
+
+// baseline returns the 4KB-pages fresh-boot run — the denominator of
+// every speedup in the paper.
+func (s *Suite) baseline(app analytics.App, ds gen.Dataset) *core.RunResult {
+	return s.run(runCfg{
+		app: app, ds: ds, method: reorder.Identity,
+		order: analytics.Natural, policy: core.Base4K(), env: core.FreshBoot(),
+	})
+}
+
+// CachedRunCount reports how many distinct runs the suite has executed.
+func (s *Suite) CachedRunCount() int { return len(s.runs) }

@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"fmt"
+
+	"graphmem/internal/graph"
+)
+
+// Dataset names the four networks of Table 2.
+type Dataset string
+
+const (
+	Kron25 Dataset = "kr25" // synthetic power-law, scattered hubs
+	Twit   Dataset = "twit" // social network, clustered hubs
+	Web    Dataset = "web"  // web graph, clustered hubs + link locality
+	Wiki   Dataset = "wiki" // small social network, clustered hubs
+)
+
+// AllDatasets lists the evaluation networks in the paper's order.
+var AllDatasets = []Dataset{Kron25, Twit, Web, Wiki}
+
+// Scale selects dataset size. The paper's networks are 12M–95M vertices
+// against a 6MB-reach STLB; simulating that volume per experiment is
+// wasteful, so each scale preserves the footprint-to-TLB-reach ratio's
+// order of magnitude instead of the absolute size.
+type Scale int
+
+const (
+	// ScaleTest is for unit tests: tiny graphs, milliseconds per run.
+	ScaleTest Scale = iota
+	// ScaleBench is for `go test -bench`: small enough to sweep.
+	ScaleBench
+	// ScaleFull is for the experiment driver: property arrays several
+	// times the STLB reach, edge arrays tens of times larger.
+	ScaleFull
+)
+
+// params maps (dataset, scale) to generator parameters.
+type params struct {
+	kind      Dataset
+	logN      int // Kronecker scale or log2 of N
+	n         int // used when not power-of-two
+	deg       int
+	alpha     float64
+	clustered bool
+	locality  float64
+	localWin  int
+}
+
+func paramsFor(d Dataset, s Scale) params {
+	p := params{kind: d}
+	switch d {
+	case Kron25:
+		p.alpha = 0 // RMAT path
+		switch s {
+		case ScaleTest:
+			p.logN, p.deg = 12, 8
+		case ScaleBench:
+			p.logN, p.deg = 16, 12
+		default:
+			p.logN, p.deg = 20, 16
+		}
+		p.n = 1 << p.logN
+	case Twit:
+		p.alpha, p.clustered = 0.75, true
+		switch s {
+		case ScaleTest:
+			p.n, p.deg = 5000, 8
+		case ScaleBench:
+			p.n, p.deg = 80_000, 12
+		default:
+			p.n, p.deg = 1_300_000, 18
+		}
+	case Web:
+		p.alpha, p.clustered = 0.65, true
+		p.locality, p.localWin = 0.5, 256
+		switch s {
+		case ScaleTest:
+			p.n, p.deg = 8000, 6
+		case ScaleBench:
+			p.n, p.deg = 120_000, 8
+		default:
+			p.n, p.deg = 2_000_000, 10
+		}
+	case Wiki:
+		p.alpha, p.clustered = 0.8, true
+		switch s {
+		case ScaleTest:
+			p.n, p.deg = 3000, 8
+		case ScaleBench:
+			p.n, p.deg = 40_000, 12
+		default:
+			// Large enough that the property array spans several 2MB
+			// regions (needed by the selectivity sweep), while staying
+			// the smallest network, as Wikipedia is in Table 2.
+			p.n, p.deg = 640_000, 15
+		}
+	default:
+		panic(fmt.Sprintf("gen: unknown dataset %q", d))
+	}
+	return p
+}
+
+// Generate materializes a dataset at the given scale. weighted adds the
+// values array needed by SSSP. The seed is fixed per dataset so every
+// experiment sees identical inputs.
+func Generate(d Dataset, s Scale, weighted bool) *graph.Graph {
+	p := paramsFor(d, s)
+	const maxWeight = 8
+	seed := uint64(0xC0FFEE) ^ uint64(len(d))<<32 ^ uint64(d[0])<<16 ^ uint64(s)
+	if d == Kron25 {
+		return Kronecker(p.logN, p.deg, weighted, maxWeight, seed)
+	}
+	return PowerLaw(PowerLawConfig{
+		N:              p.n,
+		AvgDegree:      p.deg,
+		Alpha:          p.alpha,
+		HubsClustered:  p.clustered,
+		Locality:       p.locality,
+		LocalityWindow: p.localWin,
+		Weighted:       weighted,
+		MaxWeight:      maxWeight,
+		Seed:           seed,
+	})
+}

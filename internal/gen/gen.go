@@ -1,0 +1,247 @@
+// Package gen produces the synthetic input networks for the experiment
+// suite. The paper evaluates one synthetic power-law network (Kronecker
+// scale-25) and three real networks (Twitter, Sd1 Arc, Wikipedia); real
+// traces are not redistributable at simulation scale, so each real
+// network is replaced by a generated analogue that preserves the two
+// properties the paper's results hinge on:
+//
+//  1. the degree distribution's skew (a small hot set dominates property
+//     array accesses), and
+//  2. how clustered the hot vertices are in vertex-ID space (Kronecker
+//     hubs are scattered by the Graph500 relabeling, so DBG helps;
+//     Twitter/Wikipedia hubs arrive with low, adjacent IDs, so DBG is
+//     nearly a no-op — exactly the behaviour in Fig. 10).
+//
+// All generators are deterministic in their seed.
+package gen
+
+import (
+	"math"
+
+	"graphmem/internal/graph"
+)
+
+// Kronecker generates an RMAT/Kronecker graph of 2^scale vertices with
+// edgeFactor edges per vertex, using the Graph500 initiator
+// probabilities (A=0.57, B=0.19, C=0.19) and the Graph500 random vertex
+// relabeling that scatters hubs across the ID space. If weighted, edge
+// weights are uniform in [1, maxWeight].
+func Kronecker(scale, edgeFactor int, weighted bool, maxWeight uint32, seed uint64) *graph.Graph {
+	n := 1 << scale
+	m := n * edgeFactor
+	r := newRNG(seed)
+	const a, b, c = 0.57, 0.19, 0.19
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		var src, dst int
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.float64()
+			switch {
+			case p < a:
+				// top-left: neither bit set
+			case p < a+b:
+				dst |= 1 << bit
+			case p < a+b+c:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		e := graph.Edge{Src: uint32(src), Dst: uint32(dst)}
+		if weighted {
+			e.Weight = uint32(r.intn(int(maxWeight))) + 1
+		}
+		edges = append(edges, e)
+	}
+	// Graph500 step: relabel vertices with a random permutation so that
+	// hub IDs are uncorrelated with vertex position.
+	perm := r.perm(n)
+	for i := range edges {
+		edges[i].Src = perm[edges[i].Src]
+		edges[i].Dst = perm[edges[i].Dst]
+	}
+	g, err := graph.FromEdges(n, edges, weighted)
+	if err != nil {
+		panic(err) // generator bug, not an input error
+	}
+	return g
+}
+
+// PowerLawConfig drives the configurable power-law generator used for
+// the real-network analogues.
+type PowerLawConfig struct {
+	N         int     // vertices
+	AvgDegree int     // mean out-degree
+	Alpha     float64 // Zipf exponent of the degree distribution (≈0.6–1.0)
+	// HubsClustered places the high-degree vertices at low adjacent IDs
+	// (natural community structure, Twitter/Wikipedia-like). When
+	// false, hub positions are scattered randomly (Kronecker-like).
+	HubsClustered bool
+	// Locality in [0,1) is the probability that an edge's destination
+	// is drawn from a window near the source ID rather than from the
+	// global degree-weighted distribution; it models the link locality
+	// of web graphs.
+	Locality float64
+	// LocalityWindow is the half-width of the near-ID window.
+	LocalityWindow int
+
+	Weighted  bool
+	MaxWeight uint32
+
+	Seed uint64
+}
+
+// PowerLaw generates a directed graph by a Chung–Lu-style process: each
+// vertex gets a Zipf target weight, destinations are sampled with
+// probability proportional to weight, and sources are sampled the same
+// way, so in- and out-degree distributions are both skewed.
+func PowerLaw(cfg PowerLawConfig) *graph.Graph {
+	n := cfg.N
+	if n <= 1 {
+		panic("gen: PowerLaw needs at least two vertices")
+	}
+	m := n * cfg.AvgDegree
+	r := newRNG(cfg.Seed)
+
+	// Zipf weights over ranks; rank→vertex assignment controls hub
+	// placement.
+	weights := make([]float64, n)
+	var total float64
+	for rank := 0; rank < n; rank++ {
+		w := 1 / math.Pow(float64(rank+1), cfg.Alpha)
+		weights[rank] = w
+		total += w
+	}
+	// cum[i] is the cumulative weight up to rank i, for inverse-CDF
+	// sampling via binary search.
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	rankToVertex := make([]uint32, n)
+	if cfg.HubsClustered {
+		for i := range rankToVertex {
+			rankToVertex[i] = uint32(i) // rank 0 (hottest) = vertex 0
+		}
+	} else {
+		perm := r.perm(n)
+		copy(rankToVertex, perm)
+	}
+
+	sampleRank := func() int {
+		x := r.float64() * total
+		// Binary search the cumulative array.
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		src := rankToVertex[sampleRank()]
+		var dst uint32
+		if cfg.Locality > 0 && r.float64() < cfg.Locality {
+			// Destination near the source in ID space.
+			w := cfg.LocalityWindow
+			if w < 1 {
+				w = 64
+			}
+			off := r.intn(2*w+1) - w
+			d := int(src) + off
+			if d < 0 {
+				d += n
+			}
+			if d >= n {
+				d -= n
+			}
+			dst = uint32(d)
+		} else {
+			dst = rankToVertex[sampleRank()]
+		}
+		e := graph.Edge{Src: src, Dst: dst}
+		if cfg.Weighted {
+			e.Weight = uint32(r.intn(int(cfg.MaxWeight))) + 1
+		}
+		edges = append(edges, e)
+	}
+	g, err := graph.FromEdges(n, edges, cfg.Weighted)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Uniform generates an Erdős–Rényi-style graph (no skew); useful as a
+// control in tests.
+func Uniform(n, avgDegree int, weighted bool, maxWeight uint32, seed uint64) *graph.Graph {
+	r := newRNG(seed)
+	m := n * avgDegree
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		e := graph.Edge{Src: uint32(r.intn(n)), Dst: uint32(r.intn(n))}
+		if weighted {
+			e.Weight = uint32(r.intn(int(maxWeight))) + 1
+		}
+		edges = append(edges, e)
+	}
+	g, err := graph.FromEdges(n, edges, weighted)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Grid generates a 2D grid ("road network") of w×h vertices with edges
+// to the four neighbours. Grids are the structural opposite of the
+// paper's power-law networks — uniform degree, huge diameter, perfect
+// spatial locality — and serve as the negative control: selective THP
+// and DBG should buy almost nothing here, because no vertex is hotter
+// than any other.
+func Grid(w, h int, weighted bool, maxWeight uint32, seed uint64) *graph.Graph {
+	if w < 2 || h < 2 {
+		panic("gen: Grid needs at least 2x2")
+	}
+	r := newRNG(seed)
+	n := w * h
+	edges := make([]graph.Edge, 0, 4*n)
+	id := func(x, y int) uint32 { return uint32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var nbrs []uint32
+			if x+1 < w {
+				nbrs = append(nbrs, id(x+1, y))
+			}
+			if x > 0 {
+				nbrs = append(nbrs, id(x-1, y))
+			}
+			if y+1 < h {
+				nbrs = append(nbrs, id(x, y+1))
+			}
+			if y > 0 {
+				nbrs = append(nbrs, id(x, y-1))
+			}
+			for _, nb := range nbrs {
+				e := graph.Edge{Src: id(x, y), Dst: nb}
+				if weighted {
+					e.Weight = uint32(r.intn(int(maxWeight))) + 1
+				}
+				edges = append(edges, e)
+			}
+		}
+	}
+	g, err := graph.FromEdges(n, edges, weighted)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,245 @@
+package gen
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"graphmem/internal/graph"
+)
+
+func TestKroneckerDeterministic(t *testing.T) {
+	a := Kronecker(10, 8, true, 8, 42)
+	b := Kronecker(10, 8, true, 8, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := Kronecker(10, 8, true, 8, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestKroneckerShape(t *testing.T) {
+	g := Kronecker(12, 8, false, 0, 1)
+	if g.N != 1<<12 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.NumEdges() != g.N*8 {
+		t.Fatalf("M = %d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Weighted() {
+		t.Fatal("unexpected weights")
+	}
+}
+
+func TestKroneckerWeightsInRange(t *testing.T) {
+	g := Kronecker(10, 8, true, 8, 7)
+	for _, w := range g.Weights {
+		if w < 1 || w > 8 {
+			t.Fatalf("weight %d out of [1,8]", w)
+		}
+	}
+}
+
+// skew returns the fraction of in-edges pointing at the hottest 1% of
+// vertices.
+func skew(g *graph.Graph) float64 {
+	in := g.InDegrees()
+	sorted := append([]uint32(nil), in...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
+	cut := len(sorted) / 100
+	if cut == 0 {
+		cut = 1
+	}
+	var hot, all uint64
+	for i, d := range sorted {
+		all += uint64(d)
+		if i < cut {
+			hot += uint64(d)
+		}
+	}
+	return float64(hot) / float64(all)
+}
+
+func TestKroneckerIsSkewed(t *testing.T) {
+	g := Kronecker(14, 16, false, 0, 1)
+	if s := skew(g); s < 0.10 {
+		t.Fatalf("Kronecker hot-1%% share = %.3f, want power-law skew", s)
+	}
+	u := Uniform(1<<14, 16, false, 0, 1)
+	if su, sk := skew(u), skew(g); su >= sk {
+		t.Fatalf("uniform skew %.3f >= kronecker skew %.3f", su, sk)
+	}
+}
+
+func TestPowerLawSkewAndClustering(t *testing.T) {
+	base := PowerLawConfig{N: 10000, AvgDegree: 12, Alpha: 0.8, Seed: 5}
+
+	clustered := base
+	clustered.HubsClustered = true
+	gc := PowerLaw(clustered)
+	if err := gc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s := skew(gc); s < 0.15 {
+		t.Fatalf("power-law skew = %.3f, too flat", s)
+	}
+
+	// With clustered hubs, the first 5% of vertex IDs must absorb far
+	// more in-edges than under scattered hubs.
+	scattered := base
+	scattered.HubsClustered = false
+	gs := PowerLaw(scattered)
+
+	prefixShare := func(g *graph.Graph) float64 {
+		in := g.InDegrees()
+		cut := g.N / 20
+		var pre, all uint64
+		for v, d := range in {
+			all += uint64(d)
+			if v < cut {
+				pre += uint64(d)
+			}
+		}
+		return float64(pre) / float64(all)
+	}
+	pc, ps := prefixShare(gc), prefixShare(gs)
+	if pc < 2*ps {
+		t.Fatalf("clustered prefix share %.3f not >> scattered %.3f", pc, ps)
+	}
+}
+
+func TestPowerLawLocality(t *testing.T) {
+	cfg := PowerLawConfig{
+		N: 20000, AvgDegree: 10, Alpha: 0.6, HubsClustered: true,
+		Locality: 0.8, LocalityWindow: 64, Seed: 9,
+	}
+	g := PowerLaw(cfg)
+	near := 0
+	for v := 0; v < g.N; v++ {
+		for i := g.Offsets[v]; i < g.Offsets[v+1]; i++ {
+			d := int(g.Neighbors[i]) - v
+			if d < 0 {
+				d = -d
+			}
+			if d <= 64 || d >= g.N-64 {
+				near++
+			}
+		}
+	}
+	frac := float64(near) / float64(g.NumEdges())
+	if frac < 0.5 {
+		t.Fatalf("near-ID edge fraction = %.3f, locality not applied", frac)
+	}
+}
+
+func TestGenerateAllDatasets(t *testing.T) {
+	for _, d := range AllDatasets {
+		for _, weighted := range []bool{false, true} {
+			g := Generate(d, ScaleTest, weighted)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s: %v", d, err)
+			}
+			if g.Weighted() != weighted {
+				t.Fatalf("%s: weighted = %v", d, g.Weighted())
+			}
+			if g.N < 1000 {
+				t.Fatalf("%s: suspiciously small (%d)", d, g.N)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministicPerDataset(t *testing.T) {
+	a := Generate(Wiki, ScaleTest, false)
+	b := Generate(Wiki, ScaleTest, false)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("dataset generation not deterministic")
+	}
+}
+
+func TestScaleOrdering(t *testing.T) {
+	small := Generate(Twit, ScaleTest, false)
+	mid := Generate(Twit, ScaleBench, false)
+	if small.N >= mid.N {
+		t.Fatalf("scales not increasing: %d >= %d", small.N, mid.N)
+	}
+}
+
+func TestRNGUniformish(t *testing.T) {
+	r := newRNG(123)
+	var buckets [8]int
+	for i := 0; i < 8000; i++ {
+		buckets[r.intn(8)]++
+	}
+	for i, b := range buckets {
+		if b < 800 || b > 1200 {
+			t.Fatalf("bucket %d = %d, grossly non-uniform", i, b)
+		}
+	}
+}
+
+func TestPermIsBijection(t *testing.T) {
+	r := newRNG(77)
+	p := r.perm(1000)
+	seen := make([]bool, 1000)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatal("duplicate in permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	g := Grid(20, 10, false, 0, 1)
+	if g.N != 200 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Interior vertices have degree 4; corners 2.
+	if g.OutDegree(0) != 2 {
+		t.Fatalf("corner degree = %d", g.OutDegree(0))
+	}
+	if d := g.OutDegree(uint32(5*20 + 5)); d != 4 {
+		t.Fatalf("interior degree = %d", d)
+	}
+	// Uniform degrees: no skew at all.
+	if s := skew(g); s > 0.03 {
+		t.Fatalf("grid skew = %.3f, want ~uniform", s)
+	}
+}
+
+func TestGridIsNegativeControlForDBG(t *testing.T) {
+	g := Grid(64, 64, false, 0, 1)
+	// Hot-prefix coverage of a grid is proportional to the prefix:
+	// there is nothing for DBG to concentrate.
+	in := g.InDegrees()
+	var pre, all uint64
+	cut := g.N / 10
+	for v, d := range in {
+		all += uint64(d)
+		if v < cut {
+			pre += uint64(d)
+		}
+	}
+	frac := float64(pre) / float64(all)
+	if frac < 0.05 || frac > 0.15 {
+		t.Fatalf("grid prefix coverage = %.3f, want ≈ prefix size", frac)
+	}
+}
+
+func TestGridPanicsOnDegenerate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("1xN grid accepted")
+		}
+	}()
+	Grid(1, 5, false, 0, 0)
+}

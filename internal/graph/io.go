@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary graph container format ("GMG1"): a little-endian header
+// followed by the raw CSR arrays. The format exists so generated
+// datasets can be produced once by cmd/gengraph and reused across
+// experiment runs.
+//
+//	magic    [4]byte  "GMG1"
+//	flags    uint32   bit0: weighted
+//	n        uint64   vertices
+//	m        uint64   edges
+//	offsets  (n+1) × uint64
+//	neighbors m × uint32
+//	weights  m × uint32  (only if weighted)
+var magic = [4]byte{'G', 'M', 'G', '1'}
+
+const flagWeighted = 1
+
+// Write serializes g to w.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.Weighted() {
+		flags |= flagWeighted
+	}
+	if err := binary.Write(bw, binary.LittleEndian, flags); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(g.N)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Neighbors); err != nil {
+		return err
+	}
+	if g.Weighted() {
+		if err := binary.Write(bw, binary.LittleEndian, g.Weights); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a graph written by Write and validates it.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("graph: bad magic (not a GMG1 file)")
+	}
+	var flags uint32
+	var n, edges uint64
+	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &edges); err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 33
+	if n == 0 || n > maxReasonable || edges > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible header n=%d m=%d", n, edges)
+	}
+	g := &Graph{
+		N:         int(n),
+		Offsets:   make([]uint64, n+1),
+		Neighbors: make([]uint32, edges),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Offsets); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Neighbors); err != nil {
+		return nil, err
+	}
+	if flags&flagWeighted != 0 {
+		g.Weights = make([]uint32, edges)
+		if err := binary.Read(br, binary.LittleEndian, g.Weights); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+0 1
+1 2
+% another comment style
+
+2 0
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.NumEdges() != 3 || g.Weighted() {
+		t.Fatalf("N=%d M=%d weighted=%v", g.N, g.NumEdges(), g.Weighted())
+	}
+}
+
+func TestReadEdgeListWeighted(t *testing.T) {
+	in := "0 1 5\n1 0\n" // mixed: missing weight defaults to 1
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("weights not detected")
+	}
+	if g.Weights[g.Offsets[0]] != 5 || g.Weights[g.Offsets[1]] != 1 {
+		t.Fatalf("weights = %v", g.Weights)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                // empty
+		"0\n",             // too few columns
+		"0 1 2 3\n",       // too many
+		"a b\n",           // non-numeric
+		"0 -5\n",          // negative
+		"0 1 notanum\n",   // bad weight
+		"99999999999 1\n", // out of range
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := tiny(t, weighted)
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The tiny graph has max vertex 4 and all vertices appear in
+		// edges, so the round trip is exact.
+		if !reflect.DeepEqual(edgeSet(g), edgeSet(got)) {
+			t.Fatalf("round trip mismatch (weighted=%v)", weighted)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package machine
+
+import (
+	"testing"
+
+	"graphmem/internal/cache"
+	"graphmem/internal/cost"
+	"graphmem/internal/memsys"
+	"graphmem/internal/oskernel"
+	"graphmem/internal/tlb"
+)
+
+func newTestMachine(t *testing.T, kcfg oskernel.Config) *Machine {
+	t.Helper()
+	return New(Config{
+		MemoryBytes: 64 << 20,
+		TLB:         tlb.Haswell(),
+		Cache:       cache.Haswell(),
+		Cost:        cost.Fast(),
+		Kernel:      kcfg,
+	})
+}
+
+func TestAccessFaultsMapsCharges(t *testing.T) {
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	v := m.Space.Mmap("a", memsys.HugeSize)
+	m.BeginPhase("p")
+	m.Access(v.Base + 5)
+	if m.Cycles() == 0 {
+		t.Fatal("no cycles charged")
+	}
+	ph := m.FinishPhases()
+	var p PhaseStats
+	for _, q := range ph {
+		if q.Name == "p" {
+			p = q
+		}
+	}
+	if p.Accesses != 1 {
+		t.Fatalf("phase accesses = %d", p.Accesses)
+	}
+	if p.FaultCycles == 0 {
+		t.Fatal("fault cost not attributed")
+	}
+	if p.Cycles < p.FaultCycles+p.DataCycles {
+		t.Fatal("phase cycle accounting inconsistent")
+	}
+}
+
+func TestRepeatAccessCheap(t *testing.T) {
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	v := m.Space.Mmap("a", memsys.HugeSize)
+	m.Access(v.Base)
+	before := m.Cycles()
+	m.Access(v.Base)
+	delta := m.Cycles() - before
+	fast := cost.Fast()
+	if delta != fast.L1DHit+fast.Compute {
+		t.Fatalf("hot access cost %d, want %d", delta, fast.L1DHit+fast.Compute)
+	}
+}
+
+func TestAccessUnmappedPanics(t *testing.T) {
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wild access did not panic")
+		}
+	}()
+	m.Access(0x1)
+}
+
+func TestPhaseIsolation(t *testing.T) {
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	v := m.Space.Mmap("a", memsys.HugeSize)
+	m.BeginPhase("init")
+	m.Touch(v.Base, v.Bytes)
+	m.BeginPhase("kernel")
+	m.Access(v.Base)
+	m.FinishPhases()
+	ini, ok := m.Phase("init")
+	if !ok {
+		t.Fatal("init phase missing")
+	}
+	ker, ok := m.Phase("kernel")
+	if !ok {
+		t.Fatal("kernel phase missing")
+	}
+	if ker.FaultCycles != 0 {
+		t.Fatal("kernel phase saw faults after full init touch")
+	}
+	if ini.FaultCycles == 0 {
+		t.Fatal("init phase saw no faults")
+	}
+	wantAccesses := uint64(memsys.HugeSize / 64)
+	if ini.Accesses != wantAccesses {
+		t.Fatalf("init accesses = %d, want %d", ini.Accesses, wantAccesses)
+	}
+	if ini.TLB.Lookups != wantAccesses {
+		t.Fatalf("init TLB lookups = %d", ini.TLB.Lookups)
+	}
+}
+
+func TestArrayAttribution(t *testing.T) {
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	a := m.Space.Mmap("a", memsys.HugeSize)
+	b := m.Space.Mmap("b", memsys.HugeSize)
+	m.RegisterArray(a)
+	m.RegisterArray(b)
+	m.Access(a.Base)
+	m.Access(a.Base + 4096)
+	m.Access(b.Base)
+	st := m.ArrayStats()
+	if st[0].Name != "a" || st[0].Accesses != 2 {
+		t.Fatalf("array a stats = %+v", st[0])
+	}
+	if st[1].Name != "b" || st[1].Accesses != 1 {
+		t.Fatalf("array b stats = %+v", st[1])
+	}
+}
+
+func TestTranslationChargesWalk(t *testing.T) {
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	// 16MB of pages against a ~4MB-reach STLB (and well within the
+	// machine's 64MB of memory, so no reclaim interferes).
+	v := m.Space.Mmap("a", 8*memsys.HugeSize)
+	m.BeginPhase("warm")
+	// Touch enough distinct pages to overwhelm both TLB levels, then
+	// re-touch: translation cycles must accrue.
+	for p := 0; p < v.Pages; p++ {
+		m.Access(v.PageVA(p))
+	}
+	m.BeginPhase("measure")
+	for p := 0; p < v.Pages; p++ {
+		m.Access(v.PageVA(p))
+	}
+	m.FinishPhases()
+	meas, _ := m.Phase("measure")
+	if meas.TLB.STLBMisses == 0 {
+		t.Fatal("no walks on a 16MB stream against a 4MB-reach STLB")
+	}
+	if meas.TranslationCycles == 0 {
+		t.Fatal("walks charged no translation cycles")
+	}
+	if meas.FaultCycles != 0 {
+		t.Fatal("re-touch faulted")
+	}
+}
+
+func TestHugeMappingReducesWalks(t *testing.T) {
+	run := func(kcfg oskernel.Config) uint64 {
+		m := newTestMachine(t, kcfg)
+		v := m.Space.Mmap("a", 16*memsys.HugeSize)
+		m.Touch(v.Base, v.Bytes) // fault in
+		m.BeginPhase("measure")
+		// Strided accesses across pages.
+		for rep := 0; rep < 4; rep++ {
+			for p := 0; p < v.Pages; p++ {
+				m.Access(v.PageVA(p))
+			}
+		}
+		m.FinishPhases()
+		ph, _ := m.Phase("measure")
+		return ph.TLB.L1Misses
+	}
+	missBase := run(oskernel.BaselineConfig())
+	missHuge := run(oskernel.DefaultConfig())
+	if missHuge*4 > missBase {
+		t.Fatalf("huge pages did not reduce L1 TLB misses: %d vs %d", missHuge, missBase)
+	}
+}
+
+func TestAddCycles(t *testing.T) {
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	m.BeginPhase("p")
+	m.AddCycles(12345)
+	m.FinishPhases()
+	p, _ := m.Phase("p")
+	if p.Cycles != 12345 {
+		t.Fatalf("phase cycles = %d", p.Cycles)
+	}
+}
+
+func TestTranslationShare(t *testing.T) {
+	p := PhaseStats{Cycles: 200, TranslationCycles: 50}
+	if p.TranslationShare() != 0.25 {
+		t.Fatalf("share = %v", p.TranslationShare())
+	}
+	var zero PhaseStats
+	if zero.TranslationShare() != 0 {
+		t.Fatal("zero-phase share not zero")
+	}
+}
+
+type recordingTracer struct {
+	vas  []uint64
+	tags []uint8
+}
+
+func (r *recordingTracer) Trace(va uint64, tag uint8) {
+	r.vas = append(r.vas, va)
+	r.tags = append(r.tags, tag)
+}
+
+func TestTracerReceivesAccesses(t *testing.T) {
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	v := m.Space.Mmap("a", memsys.HugeSize)
+	m.RegisterArray(v)
+	rec := &recordingTracer{}
+	m.Tracer = rec
+	m.Access(v.Base + 100)
+	m.Access(v.Base + 5000)
+	if len(rec.vas) != 2 || rec.vas[0] != v.Base+100 {
+		t.Fatalf("trace = %v", rec.vas)
+	}
+	if rec.tags[0] != 0 {
+		t.Fatalf("tag = %d, want registered array tag 0", rec.tags[0])
+	}
+	// Untracked VMAs carry the sentinel tag.
+	w := m.Space.Mmap("b", memsys.HugeSize)
+	m.Access(w.Base)
+	if rec.tags[2] != 0xFF {
+		t.Fatalf("untracked tag = %d", rec.tags[2])
+	}
+}
+
+func TestRegionHeatAccumulates(t *testing.T) {
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	v := m.Space.Mmap("a", 3*memsys.HugeSize)
+	for i := 0; i < 5; i++ {
+		m.Access(v.Base + memsys.HugeSize + uint64(i)*64) // region 1
+	}
+	m.Access(v.Base) // region 0
+	if v.Heat[1] != 5 || v.Heat[0] != 1 || v.Heat[2] != 0 {
+		t.Fatalf("heat = %v", v.Heat[:3])
+	}
+}
+
+func TestSimulatedPageTablesChangeWalkCosts(t *testing.T) {
+	run := func(simPT bool) (uint64, uint64) {
+		m := New(Config{
+			MemoryBytes:        64 << 20,
+			TLB:                tlb.Scaled(tlb.Haswell(), 16),
+			Cache:              cache.Haswell(),
+			Cost:               cost.Fast(),
+			Kernel:             oskernel.BaselineConfig(),
+			SimulatePageTables: simPT,
+		})
+		v := m.Space.Mmap("a", 8*memsys.HugeSize)
+		m.Touch(v.Base, v.Bytes)
+		m.BeginPhase("measure")
+		for rep := 0; rep < 2; rep++ {
+			for p := 0; p < v.Pages; p++ {
+				m.Access(v.PageVA(p))
+			}
+		}
+		m.FinishPhases()
+		ph, _ := m.Phase("measure")
+		return ph.TranslationCycles, ph.TLB.STLBMisses
+	}
+	constCost, constWalks := run(false)
+	simCost, simWalks := run(true)
+	if constWalks == 0 || simWalks == 0 {
+		t.Fatal("no walks happened; test graph too small")
+	}
+	if simCost == constCost {
+		t.Fatal("simulated page tables did not change walk costs")
+	}
+	// With the fast model, PT pages of a sequential scan stay cache-hot
+	// (512 consecutive PTEs per line-filled PT page), so simulated
+	// walks must be cheaper per walk than the fixed cold-walk constant.
+	if float64(simCost)/float64(simWalks) >= float64(constCost)/float64(constWalks) {
+		t.Fatalf("hot-PT walks (%d/%d) not cheaper than constant model (%d/%d)",
+			simCost, simWalks, constCost, constWalks)
+	}
+}

@@ -1,0 +1,59 @@
+package memsys
+
+import "testing"
+
+func BenchmarkAllocFree4K(b *testing.B) {
+	m := New(256 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := m.Alloc(0, Movable, nil, 0)
+		if f == NoFrame {
+			b.Fatal("oom")
+		}
+		m.Free(f, 0)
+	}
+}
+
+func BenchmarkAllocFreeHuge(b *testing.B) {
+	m := New(256 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := m.Alloc(HugeOrder, Movable, nil, 0)
+		if f == NoFrame {
+			b.Fatal("oom")
+		}
+		m.Free(f, HugeOrder)
+	}
+}
+
+func BenchmarkFillThenDrain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := New(64 << 20)
+		var frames []Frame
+		for {
+			f := m.Alloc(0, Movable, nil, 0)
+			if f == NoFrame {
+				break
+			}
+			frames = append(frames, f)
+		}
+		for _, f := range frames {
+			m.Free(f, 0)
+		}
+	}
+}
+
+func BenchmarkCompaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := New(64 << 20)
+		o := newTrackingOwner()
+		for f := Frame(0); f < Frame(m.TotalPages()); f += HugePages {
+			m.AllocAt(f+1, 0, Movable, o, 0)
+		}
+		b.StartTimer()
+		if res := m.TryCompactHuge(); !res.Succeeded {
+			b.Fatal("compaction failed")
+		}
+	}
+}

@@ -1,0 +1,775 @@
+// Package memsys simulates the physical memory of one NUMA node: a frame
+// array managed by a binary buddy allocator with Linux-like migrate
+// types, plus the compaction and reclaim primitives the THP policy layer
+// builds on.
+//
+// The simulation is deterministic: allocation always returns the
+// lowest-addressed suitable block, so identical call sequences produce
+// identical physical layouts (and therefore identical fragmentation
+// behaviour) across runs.
+package memsys
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Fundamental geometry. The simulator uses x86-64 sizes throughout.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4 KiB base page
+
+	// HugeOrder is the buddy order of a 2MB huge page (512 base pages).
+	HugeOrder = 9
+	HugePages = 1 << HugeOrder
+	HugeSize  = PageSize * HugePages
+
+	// MaxOrder is the largest buddy block order tracked, matching
+	// Linux's MAX_ORDER of 10 (4MB blocks).
+	MaxOrder = 10
+)
+
+// MigrateType classifies a frame's mobility, mirroring the kernel's
+// migratetype machinery. It determines whether compaction may move the
+// frame and whether reclaim may evict it.
+type MigrateType uint8
+
+const (
+	// Movable pages back application anonymous memory; compaction may
+	// migrate them and reclaim may swap them out.
+	Movable MigrateType = iota
+	// Unmovable pages are kernel allocations that can neither move nor
+	// be reclaimed. They are the durable source of fragmentation.
+	Unmovable
+	// Reclaimable pages (page cache) cannot move but can be dropped.
+	Reclaimable
+	// Pinned pages are mlocked user memory: movable by compaction but
+	// never reclaimed or swapped (the paper's memhog+mlock).
+	Pinned
+)
+
+func (m MigrateType) String() string {
+	switch m {
+	case Movable:
+		return "movable"
+	case Unmovable:
+		return "unmovable"
+	case Reclaimable:
+		return "reclaimable"
+	case Pinned:
+		return "pinned"
+	}
+	return fmt.Sprintf("MigrateType(%d)", uint8(m))
+}
+
+// Frame is an index into the node's physical frame array.
+type Frame uint32
+
+// NoFrame is the sentinel for "no frame".
+const NoFrame = Frame(^uint32(0))
+
+// Owner receives callbacks when the memory system moves or evicts frames
+// that belong to it. The virtual-memory layer implements this to keep
+// page tables coherent with compaction and reclaim.
+type Owner interface {
+	// FrameMoved tells the owner that the contents of old now live in
+	// new; the owner must redirect its mapping. cookie is the value
+	// passed at allocation time.
+	FrameMoved(old, new Frame, cookie uint64)
+	// FrameReclaimed tells the owner that the frame was evicted (page
+	// cache drop or swap-out). The owner must unmap it. Returns true
+	// if the frame may actually be freed; false vetoes the eviction.
+	FrameReclaimed(f Frame, cookie uint64) bool
+}
+
+// frameInfo is the per-frame metadata word.
+type frameInfo struct {
+	allocated bool
+	// blockOrder is the order of the allocation this frame belongs to.
+	// Compaction and reclaim refuse to operate on constituents of
+	// order>=HugeOrder blocks: a huge page moves or dies as a unit.
+	blockOrder uint8
+	mtype      MigrateType
+	owner      Owner
+	cookie     uint64
+}
+
+// Stats counts allocator activity since construction.
+type Stats struct {
+	Allocs4K        uint64
+	AllocsHuge      uint64
+	FailedHuge      uint64
+	Frees           uint64
+	PagesCompacted  uint64 // pages migrated by compaction
+	PagesReclaimed  uint64
+	CompactionRuns  uint64
+	CompactionFails uint64
+}
+
+// Memory models one NUMA node's physical memory.
+type Memory struct {
+	nframes Frame
+	frames  []frameInfo
+
+	// freeBits[o] marks block-start frames of free order-o blocks.
+	freeBits [MaxOrder + 1][]uint64
+	// freeCount[o] is the number of free blocks of exactly order o.
+	freeCount [MaxOrder + 1]uint32
+	// hint[o] is a search start position (word index) for order o.
+	hint [MaxOrder + 1]uint32
+
+	freePages uint64
+
+	// Reclaim candidate FIFOs, one for page cache (Reclaimable) and
+	// one for anonymous memory (Movable). Frames are enqueued when
+	// they become owned and validated lazily on dequeue, so reclaim is
+	// amortized O(pages reclaimed) instead of O(total frames), and the
+	// eviction order approximates FIFO/LRU the way kswapd's inactive
+	// list does. Entries may be stale or duplicated; dequeue filters.
+	reclaimQ [2]frameQueue
+
+	stats Stats
+}
+
+// frameQueue is a simple FIFO of frame numbers with amortized O(1)
+// operations.
+type frameQueue struct {
+	items []Frame
+	head  int
+}
+
+func (q *frameQueue) push(f Frame) { q.items = append(q.items, f) }
+
+func (q *frameQueue) pop() (Frame, bool) {
+	if q.head >= len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+		return 0, false
+	}
+	f := q.items[q.head]
+	q.head++
+	if q.head > 1024 && q.head*2 > len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return f, true
+}
+
+func (q *frameQueue) len() int { return len(q.items) - q.head }
+
+// queueIndexFor returns which reclaim queue (if any) a frame with the
+// given type/owner belongs to.
+func queueIndexFor(mt MigrateType, owner Owner) int {
+	if owner == nil {
+		return -1
+	}
+	switch mt {
+	case Reclaimable:
+		return 0
+	case Movable:
+		return 1
+	}
+	return -1
+}
+
+// enqueueReclaim registers an owned frame as a reclaim candidate.
+func (m *Memory) enqueueReclaim(f Frame, mt MigrateType, owner Owner) {
+	if qi := queueIndexFor(mt, owner); qi >= 0 {
+		m.reclaimQ[qi].push(f)
+	}
+}
+
+// New constructs a node with totalBytes of physical memory. totalBytes is
+// rounded down to a whole number of max-order blocks so the buddy
+// structure starts fully coalesced.
+func New(totalBytes uint64) *Memory {
+	blockBytes := uint64(PageSize) << MaxOrder
+	totalBytes -= totalBytes % blockBytes
+	if totalBytes == 0 {
+		panic("memsys: memory smaller than one max-order block")
+	}
+	n := Frame(totalBytes / PageSize)
+	m := &Memory{
+		nframes: n,
+		frames:  make([]frameInfo, n),
+	}
+	words := (uint32(n) + 63) / 64
+	for o := 0; o <= MaxOrder; o++ {
+		m.freeBits[o] = make([]uint64, words)
+	}
+	for f := Frame(0); f < n; f += 1 << MaxOrder {
+		m.setFree(f, MaxOrder)
+	}
+	m.freePages = uint64(n)
+	return m
+}
+
+// TotalPages returns the number of physical frames on the node.
+func (m *Memory) TotalPages() uint64 { return uint64(m.nframes) }
+
+// FreePages returns the number of free frames.
+func (m *Memory) FreePages() uint64 { return m.freePages }
+
+// Stats returns a copy of the allocator counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// --- bitset helpers -------------------------------------------------
+
+func (m *Memory) setFree(f Frame, order int) {
+	m.freeBits[order][f/64] |= 1 << (f % 64)
+	m.freeCount[order]++
+}
+
+func (m *Memory) clearFree(f Frame, order int) {
+	m.freeBits[order][f/64] &^= 1 << (f % 64)
+	m.freeCount[order]--
+}
+
+func (m *Memory) isFree(f Frame, order int) bool {
+	return m.freeBits[order][f/64]&(1<<(f%64)) != 0
+}
+
+// lowestFree returns the lowest-addressed free block of the given order,
+// or NoFrame. The per-order hint makes repeated allocation amortized
+// cheap without sacrificing determinism.
+func (m *Memory) lowestFree(order int) Frame {
+	if m.freeCount[order] == 0 {
+		return NoFrame
+	}
+	words := m.freeBits[order]
+	start := m.hint[order]
+	if start >= uint32(len(words)) {
+		start = 0
+	}
+	// Scan from the hint to the end, then wrap. Because frees can land
+	// below the hint this is a full circular scan in the worst case.
+	for pass := 0; pass < 2; pass++ {
+		lo, hi := start, uint32(len(words))
+		if pass == 1 {
+			lo, hi = 0, start
+		}
+		for w := lo; w < hi; w++ {
+			if words[w] != 0 {
+				m.hint[order] = w
+				return Frame(w*64 + uint32(bits.TrailingZeros64(words[w])))
+			}
+		}
+	}
+	return NoFrame
+}
+
+// --- allocation ------------------------------------------------------
+
+// Alloc allocates a 2^order-page block of the given migrate type. owner
+// and cookie identify the mapping for compaction/reclaim callbacks and
+// may be nil/0 for untracked memory (e.g. kernel allocations). It
+// returns the first frame of the block, or NoFrame if no block of
+// sufficient order is free (the caller decides whether to compact,
+// reclaim, or fall back).
+func (m *Memory) Alloc(order int, mtype MigrateType, owner Owner, cookie uint64) Frame {
+	if order < 0 || order > MaxOrder {
+		panic(fmt.Sprintf("memsys: bad order %d", order))
+	}
+	f := m.allocBlock(order)
+	if f == NoFrame {
+		if order >= HugeOrder {
+			m.stats.FailedHuge++
+		}
+		return NoFrame
+	}
+	npages := Frame(1) << order
+	for i := Frame(0); i < npages; i++ {
+		fi := &m.frames[f+i]
+		fi.allocated = true
+		fi.blockOrder = uint8(order)
+		fi.mtype = mtype
+		fi.owner = owner
+		fi.cookie = cookie
+	}
+	if order < HugeOrder {
+		for i := Frame(0); i < npages; i++ {
+			m.enqueueReclaim(f+i, mtype, owner)
+		}
+	}
+	m.freePages -= uint64(npages)
+	if order >= HugeOrder {
+		m.stats.AllocsHuge++
+	} else {
+		m.stats.Allocs4K++
+	}
+	return f
+}
+
+// AllocAt allocates the specific 2^order block starting at frame f, if
+// that exact range is currently free (possibly inside a larger free
+// block, which is split). Returns false if any part is allocated. Used
+// to place allocations at chosen physical addresses, e.g. scattering
+// non-movable "kernel" pages when modelling an aged system.
+func (m *Memory) AllocAt(f Frame, order int, mtype MigrateType, owner Owner, cookie uint64) bool {
+	if f%(1<<order) != 0 || f+(1<<order) > m.nframes {
+		return false
+	}
+	// Find the free block containing f.
+	found := -1
+	var start Frame
+	for o := order; o <= MaxOrder; o++ {
+		aligned := f &^ (Frame(1)<<o - 1)
+		if m.isFree(aligned, o) {
+			found, start = o, aligned
+			break
+		}
+	}
+	if found < 0 {
+		return false
+	}
+	m.clearFree(start, found)
+	// Split down, keeping the half that contains f.
+	for o := found; o > order; {
+		o--
+		half := start + Frame(1)<<o
+		if f >= half {
+			m.setFree(start, o)
+			start = half
+		} else {
+			m.setFree(half, o)
+		}
+	}
+	npages := Frame(1) << order
+	for i := Frame(0); i < npages; i++ {
+		fi := &m.frames[f+i]
+		fi.allocated = true
+		fi.blockOrder = uint8(order)
+		fi.mtype = mtype
+		fi.owner = owner
+		fi.cookie = cookie
+	}
+	if order < HugeOrder {
+		for i := Frame(0); i < npages; i++ {
+			m.enqueueReclaim(f+i, mtype, owner)
+		}
+	}
+	m.freePages -= uint64(npages)
+	if order >= HugeOrder {
+		m.stats.AllocsHuge++
+	} else {
+		m.stats.Allocs4K++
+	}
+	return true
+}
+
+// allocBlock finds and removes a free block of at least the given order,
+// splitting larger blocks as needed, and returns its first frame.
+func (m *Memory) allocBlock(order int) Frame {
+	for o := order; o <= MaxOrder; o++ {
+		f := m.lowestFree(o)
+		if f == NoFrame {
+			continue
+		}
+		m.clearFree(f, o)
+		// Split down to the requested order, freeing upper halves.
+		for o > order {
+			o--
+			m.setFree(f+Frame(1)<<o, o)
+		}
+		return f
+	}
+	return NoFrame
+}
+
+// Free releases a 2^order-page block previously returned by Alloc. The
+// block is coalesced with free buddies up to MaxOrder.
+func (m *Memory) Free(f Frame, order int) {
+	npages := Frame(1) << order
+	if f+npages > m.nframes {
+		panic("memsys: free out of range")
+	}
+	for i := Frame(0); i < npages; i++ {
+		fi := &m.frames[f+i]
+		if !fi.allocated {
+			panic(fmt.Sprintf("memsys: double free of frame %d", f+i))
+		}
+		*fi = frameInfo{}
+	}
+	m.freePages += uint64(npages)
+	m.stats.Frees++
+	m.freeBlock(f, order)
+}
+
+func (m *Memory) freeBlock(f Frame, order int) {
+	for order < MaxOrder {
+		buddy := f ^ (Frame(1) << order)
+		if buddy >= m.nframes || !m.isFree(buddy, order) {
+			break
+		}
+		m.clearFree(buddy, order)
+		if buddy < f {
+			f = buddy
+		}
+		order++
+	}
+	m.setFree(f, order)
+}
+
+// SplitAllocated rewrites the metadata of an allocated 2^order block so
+// that each constituent page becomes an independent order-0 allocation.
+// This is how huge page demotion and the frag utility's page splitting
+// are modelled: the frames stay allocated but may now be freed, moved,
+// or reclaimed one page at a time.
+func (m *Memory) SplitAllocated(f Frame, order int) {
+	npages := Frame(1) << order
+	for i := Frame(0); i < npages; i++ {
+		fi := &m.frames[f+i]
+		if !fi.allocated {
+			panic("memsys: SplitAllocated on free frame")
+		}
+		fi.blockOrder = 0
+	}
+}
+
+// SetOwner updates the owner callback and cookie for one frame. The VM
+// layer uses this when it remaps a frame (e.g. after promotion).
+func (m *Memory) SetOwner(f Frame, owner Owner, cookie uint64) {
+	fi := &m.frames[f]
+	if !fi.allocated {
+		panic("memsys: SetOwner on free frame")
+	}
+	fi.owner = owner
+	fi.cookie = cookie
+	// Huge-block head frames are enqueued too: when reclaim selects
+	// one, the owner responds by demoting the mapping (Linux's
+	// split-THP-under-reclaim), which turns the constituents into
+	// ordinary candidates.
+	m.enqueueReclaim(f, fi.mtype, owner)
+}
+
+// SetMigrateType changes the migrate type of one allocated frame.
+func (m *Memory) SetMigrateType(f Frame, mt MigrateType) {
+	fi := &m.frames[f]
+	if !fi.allocated {
+		panic("memsys: SetMigrateType on free frame")
+	}
+	fi.mtype = mt
+}
+
+// MigrateTypeOf reports the migrate type of an allocated frame.
+func (m *Memory) MigrateTypeOf(f Frame) MigrateType { return m.frames[f].mtype }
+
+// Allocated reports whether frame f is currently allocated.
+func (m *Memory) Allocated(f Frame) bool { return m.frames[f].allocated }
+
+// --- fragmentation metrics -------------------------------------------
+
+// FreeHugeBlocks returns how many order>=HugeOrder free blocks exist,
+// i.e. how many huge pages could be allocated right now without any
+// compaction or reclaim.
+func (m *Memory) FreeHugeBlocks() uint64 {
+	var n uint64
+	for o := HugeOrder; o <= MaxOrder; o++ {
+		n += uint64(m.freeCount[o]) << (o - HugeOrder)
+	}
+	return n
+}
+
+// FragmentationIndex returns the fraction of free memory that is NOT
+// part of a huge-page-sized free block, in [0,1]. This matches the
+// paper's definition of fragmentation level: the percentage of available
+// memory in which no contiguous 2MB region exists.
+func (m *Memory) FragmentationIndex() float64 {
+	if m.freePages == 0 {
+		return 0
+	}
+	inHuge := m.FreeHugeBlocks() * HugePages
+	return 1 - float64(inHuge)/float64(m.freePages)
+}
+
+// --- compaction -------------------------------------------------------
+
+// CompactionResult reports what one compaction attempt did.
+type CompactionResult struct {
+	Succeeded bool
+	Migrated  int   // pages moved
+	Block     Frame // first frame of the created huge block, if Succeeded
+}
+
+// TryCompactHuge attempts to create one free huge-page-sized block by
+// migrating movable pages out of the most nearly-free 2MB-aligned
+// region, mimicking the kernel's compaction scanner. On success the
+// resulting block is left FREE (the caller allocates it). The number of
+// migrated pages is returned so the caller can charge cycle costs.
+//
+// The scan is deterministic: regions are considered in ascending address
+// order and the candidate needing the fewest migrations wins (ties go to
+// the lower address).
+func (m *Memory) TryCompactHuge() CompactionResult {
+	m.stats.CompactionRuns++
+	best := NoFrame
+	bestCost := HugePages + 1
+	for base := Frame(0); base < m.nframes; base += HugePages {
+		cost, ok := m.regionCompactionCost(base)
+		if ok && cost < bestCost {
+			best, bestCost = base, cost
+			if cost == 0 {
+				break
+			}
+		}
+	}
+	if best == NoFrame {
+		m.stats.CompactionFails++
+		return CompactionResult{}
+	}
+	migrated, ok := m.evacuateRegion(best)
+	if !ok {
+		m.stats.CompactionFails++
+		return CompactionResult{Migrated: migrated}
+	}
+	m.stats.PagesCompacted += uint64(migrated)
+	return CompactionResult{Succeeded: true, Migrated: migrated, Block: best}
+}
+
+// regionCompactionCost returns how many pages must be migrated to empty
+// the 2MB region starting at base, and whether emptying is possible at
+// all (false if any page is unmovable/reclaimable/pinned-unmovable).
+func (m *Memory) regionCompactionCost(base Frame) (int, bool) {
+	cost := 0
+	for i := Frame(0); i < HugePages; i++ {
+		fi := &m.frames[base+i]
+		if !fi.allocated {
+			continue
+		}
+		if fi.blockOrder >= HugeOrder {
+			// A live huge page occupies this region; nothing to gain.
+			return 0, false
+		}
+		switch fi.mtype {
+		case Movable, Pinned:
+			cost++
+		default:
+			return 0, false
+		}
+	}
+	if cost == HugePages {
+		// Fully allocated; evacuating it buys nothing unless we have
+		// 512 free pages elsewhere, and the kernel would not pick it.
+		return 0, false
+	}
+	return cost, true
+}
+
+// evacuateRegion migrates every movable page out of the 2MB region at
+// base to free frames outside the region, then returns the region to the
+// free lists as one huge block. Migration destinations are order-0
+// allocations, which is how the kernel's migration allocator behaves
+// under pressure.
+func (m *Memory) evacuateRegion(base Frame) (migrated int, ok bool) {
+	for i := Frame(0); i < HugePages; i++ {
+		f := base + i
+		fi := &m.frames[f]
+		if !fi.allocated {
+			continue
+		}
+		dst := m.allocOutside(base)
+		if dst == NoFrame {
+			return migrated, false // out of destination memory mid-compaction
+		}
+		// Move metadata, notify owner, free the source frame.
+		d := &m.frames[dst]
+		d.allocated = true
+		d.blockOrder = 0
+		d.mtype = fi.mtype
+		d.owner = fi.owner
+		d.cookie = fi.cookie
+		m.enqueueReclaim(dst, d.mtype, d.owner)
+		m.freePages-- // dst leaves the free pool
+		if fi.owner != nil {
+			fi.owner.FrameMoved(f, dst, fi.cookie)
+		}
+		*fi = frameInfo{}
+		m.freePages++
+		m.freeBlock(f, 0)
+		migrated++
+	}
+	return migrated, true
+}
+
+// allocOutside grabs one free frame that is not inside the 2MB region at
+// base. It deliberately does not split huge free blocks if any smaller
+// block exists, preserving contiguity like the kernel's fallback order.
+func (m *Memory) allocOutside(base Frame) Frame {
+	for o := 0; o <= MaxOrder; o++ {
+		f := m.lowestFree(o)
+		if f == NoFrame {
+			continue
+		}
+		if f >= base && f < base+HugePages {
+			// The lowest free block lives inside the region being
+			// evacuated; look for the next one at this order.
+			f = m.lowestFreeExcluding(o, base)
+			if f == NoFrame {
+				continue
+			}
+		}
+		m.clearFree(f, o)
+		for o > 0 {
+			o--
+			m.setFree(f+Frame(1)<<o, o)
+		}
+		// The frame is off the free lists but metadata and freePages
+		// accounting are the caller's responsibility.
+		return f
+	}
+	return NoFrame
+}
+
+// lowestFreeExcluding is lowestFree but skips blocks inside the 2MB
+// region at base.
+func (m *Memory) lowestFreeExcluding(order int, base Frame) Frame {
+	words := m.freeBits[order]
+	for w := 0; w < len(words); w++ {
+		word := words[w]
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			f := Frame(w*64 + bit)
+			if f < base || f >= base+HugePages {
+				return f
+			}
+			word &^= 1 << bit
+		}
+	}
+	return NoFrame
+}
+
+// --- reclaim ----------------------------------------------------------
+
+// ReclaimPages tries to evict up to want reclaimable or swappable frames
+// (page cache first, then movable anonymous memory via owner callbacks),
+// in ascending address order. It returns the number of page-cache frames
+// dropped (cheap) and anonymous frames swapped out (expensive I/O)
+// separately so the caller can charge the right costs. Pinned and
+// unmovable frames are never touched.
+func (m *Memory) ReclaimPages(want int) (dropped, swapped int) {
+	if want <= 0 {
+		return 0, 0
+	}
+	// Iterate the two passes while they make progress: splitting a huge
+	// mapping frees nothing itself but enqueues 512 fresh candidates,
+	// which the next round harvests. Progress is either pages freed or
+	// queue growth (a split happened); anything else is a dead end.
+	prevQ := -1
+	for dropped+swapped < want {
+		// Pass 1: page cache (no I/O on the simulated critical path;
+		// the data was a clean copy of file contents).
+		d := m.reclaimPass(Reclaimable, want-dropped-swapped)
+		dropped += d
+		var s int
+		if dropped+swapped < want {
+			// Pass 2: anonymous movable memory (swap-out, owner may
+			// veto or split-and-requeue).
+			s = m.reclaimPass(Movable, want-dropped-swapped)
+			swapped += s
+		}
+		if d == 0 && s == 0 {
+			qlen := m.reclaimQ[0].len() + m.reclaimQ[1].len()
+			if qlen == prevQ {
+				break // no reclaims and no splits: truly stuck
+			}
+			prevQ = qlen
+		}
+	}
+	m.stats.PagesReclaimed += uint64(dropped + swapped)
+	return dropped, swapped
+}
+
+func (m *Memory) reclaimPass(mt MigrateType, want int) int {
+	qi := 0
+	if mt == Movable {
+		qi = 1
+	}
+	q := &m.reclaimQ[qi]
+	got := 0
+	// Each pop either reclaims a page, discards a stale entry, or
+	// rotates a vetoed page to the back; the pop budget guarantees the
+	// pass visits each current entry at most once.
+	budget := q.len()
+	for got < want && budget > 0 {
+		budget--
+		f, ok := q.pop()
+		if !ok {
+			break
+		}
+		fi := &m.frames[f]
+		if !fi.allocated || fi.mtype != mt || fi.owner == nil {
+			continue // stale entry
+		}
+		if !fi.owner.FrameReclaimed(f, fi.cookie) {
+			// Vetoed outright, or a huge mapping that the owner
+			// demoted in place (its constituents are now queued):
+			// rotate to the back like an inactive-list page.
+			q.push(f)
+			continue
+		}
+		if fi.blockOrder >= HugeOrder {
+			panic("memsys: owner approved freeing a huge block constituent")
+		}
+		*fi = frameInfo{}
+		m.freePages++
+		m.freeBlock(f, 0)
+		got++
+	}
+	return got
+}
+
+// ForEachAllocated visits every allocated frame in address order. It is
+// intended for diagnostics and tests, not hot paths.
+func (m *Memory) ForEachAllocated(fn func(f Frame, mt MigrateType)) {
+	for f := Frame(0); f < m.nframes; f++ {
+		if m.frames[f].allocated {
+			fn(f, m.frames[f].mtype)
+		}
+	}
+}
+
+// CheckInvariants validates internal consistency (free accounting,
+// bitset/metadata agreement) and returns an error describing the first
+// violation. Tests call this after operation sequences.
+func (m *Memory) CheckInvariants() error {
+	var freeFromBits uint64
+	for o := 0; o <= MaxOrder; o++ {
+		var count uint32
+		for w, word := range m.freeBits[o] {
+			for word != 0 {
+				bit := bits.TrailingZeros64(word)
+				word &^= 1 << bit
+				f := Frame(w*64 + bit)
+				count++
+				if f%(1<<o) != 0 {
+					return fmt.Errorf("order-%d free block at unaligned frame %d", o, f)
+				}
+				for i := Frame(0); i < 1<<o; i++ {
+					if f+i >= m.nframes {
+						return fmt.Errorf("free block %d order %d exceeds memory", f, o)
+					}
+					if m.frames[f+i].allocated {
+						return fmt.Errorf("frame %d allocated but inside free block %d order %d", f+i, f, o)
+					}
+				}
+			}
+		}
+		if count != m.freeCount[o] {
+			return fmt.Errorf("order %d: freeCount=%d but bitset has %d", o, m.freeCount[o], count)
+		}
+		freeFromBits += uint64(count) << o
+	}
+	if freeFromBits != m.freePages {
+		return fmt.Errorf("freePages=%d but bitsets say %d", m.freePages, freeFromBits)
+	}
+	var allocated uint64
+	for f := Frame(0); f < m.nframes; f++ {
+		if m.frames[f].allocated {
+			allocated++
+		}
+	}
+	if allocated+m.freePages != uint64(m.nframes) {
+		return fmt.Errorf("allocated %d + free %d != total %d", allocated, m.freePages, m.nframes)
+	}
+	return nil
+}

@@ -1,0 +1,414 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const testMem = 64 << 20 // 64MB = 16384 frames = 32 regions
+
+func newTestMem(t *testing.T) *Memory {
+	t.Helper()
+	return New(testMem)
+}
+
+func TestNewGeometry(t *testing.T) {
+	m := newTestMem(t)
+	if got := m.TotalPages(); got != testMem/PageSize {
+		t.Fatalf("TotalPages = %d, want %d", got, testMem/PageSize)
+	}
+	if m.FreePages() != m.TotalPages() {
+		t.Fatalf("fresh memory not fully free: %d/%d", m.FreePages(), m.TotalPages())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FragmentationIndex() != 0 {
+		t.Fatalf("fresh memory fragmented: %v", m.FragmentationIndex())
+	}
+}
+
+func TestNewRoundsDown(t *testing.T) {
+	m := New(uint64(PageSize)<<MaxOrder + 12345)
+	if m.TotalPages() != 1<<MaxOrder {
+		t.Fatalf("TotalPages = %d, want %d", m.TotalPages(), 1<<MaxOrder)
+	}
+}
+
+func TestNewPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with sub-block memory did not panic")
+		}
+	}()
+	New(PageSize)
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	m := newTestMem(t)
+	f := m.Alloc(0, Movable, nil, 0)
+	if f == NoFrame {
+		t.Fatal("alloc failed on empty memory")
+	}
+	if !m.Allocated(f) {
+		t.Fatal("frame not marked allocated")
+	}
+	if m.FreePages() != m.TotalPages()-1 {
+		t.Fatalf("free pages = %d", m.FreePages())
+	}
+	m.Free(f, 0)
+	if m.FreePages() != m.TotalPages() {
+		t.Fatal("free did not restore count")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Full coalescing: a huge alloc must succeed everywhere again.
+	if m.FreeHugeBlocks() != m.TotalPages()/HugePages {
+		t.Fatalf("coalescing failed: %d huge blocks", m.FreeHugeBlocks())
+	}
+}
+
+func TestAllocDeterministicLowestFirst(t *testing.T) {
+	m := newTestMem(t)
+	a := m.Alloc(0, Movable, nil, 0)
+	b := m.Alloc(0, Movable, nil, 0)
+	if a != 0 || b != 1 {
+		t.Fatalf("allocation not lowest-first: got %d, %d", a, b)
+	}
+	m.Free(a, 0)
+	c := m.Alloc(0, Movable, nil, 0)
+	if c != 0 {
+		t.Fatalf("freed lowest frame not reused: got %d", c)
+	}
+}
+
+func TestHugeAllocAligned(t *testing.T) {
+	m := newTestMem(t)
+	// Misalign the low memory with a single 4K page first.
+	m.Alloc(0, Movable, nil, 0)
+	h := m.Alloc(HugeOrder, Movable, nil, 0)
+	if h == NoFrame {
+		t.Fatal("huge alloc failed")
+	}
+	if h%HugePages != 0 {
+		t.Fatalf("huge block misaligned at frame %d", h)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	m := newTestMem(t)
+	f := m.Alloc(0, Movable, nil, 0)
+	m.Free(f, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	m.Free(f, 0)
+}
+
+func TestExhaustion(t *testing.T) {
+	m := New(4 << 20) // 1024 frames
+	var got int
+	for {
+		if m.Alloc(0, Movable, nil, 0) == NoFrame {
+			break
+		}
+		got++
+	}
+	if uint64(got) != m.TotalPages() {
+		t.Fatalf("allocated %d of %d frames before failure", got, m.TotalPages())
+	}
+	if m.FreePages() != 0 {
+		t.Fatalf("free pages %d after exhaustion", m.FreePages())
+	}
+}
+
+func TestAllocAt(t *testing.T) {
+	m := newTestMem(t)
+	if !m.AllocAt(777, 0, Unmovable, nil, 0) {
+		t.Fatal("AllocAt on free frame failed")
+	}
+	if m.AllocAt(777, 0, Unmovable, nil, 0) {
+		t.Fatal("AllocAt on allocated frame succeeded")
+	}
+	if m.MigrateTypeOf(777) != Unmovable {
+		t.Fatal("migrate type not recorded")
+	}
+	// The region containing frame 777 can no longer host a huge page.
+	region := Frame(777 / HugePages * HugePages)
+	if m.AllocAt(region, HugeOrder, Movable, nil, 0) {
+		t.Fatal("huge AllocAt over occupied region succeeded")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m.Free(777, 0)
+	if !m.AllocAt(region, HugeOrder, Movable, nil, 0) {
+		t.Fatal("huge AllocAt after free failed")
+	}
+}
+
+func TestAllocAtRejectsMisaligned(t *testing.T) {
+	m := newTestMem(t)
+	if m.AllocAt(3, HugeOrder, Movable, nil, 0) {
+		t.Fatal("misaligned huge AllocAt succeeded")
+	}
+}
+
+func TestSplitAllocatedEnablesPageFrees(t *testing.T) {
+	m := newTestMem(t)
+	h := m.Alloc(HugeOrder, Unmovable, nil, 0)
+	m.SplitAllocated(h, HugeOrder)
+	for i := Frame(1); i < HugePages; i++ {
+		m.Free(h+i, 0)
+	}
+	if m.FreePages() != m.TotalPages()-1 {
+		t.Fatalf("free pages = %d", m.FreePages())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// First page of the region still pins it: no huge block there.
+	if m.AllocAt(h, HugeOrder, Movable, nil, 0) {
+		t.Fatal("region with retained page allocated as huge")
+	}
+}
+
+func TestFragmentationIndex(t *testing.T) {
+	m := newTestMem(t)
+	// Pin the first page of every region: no free 2MB blocks remain.
+	for f := Frame(0); f < Frame(m.TotalPages()); f += HugePages {
+		if !m.AllocAt(f, 0, Unmovable, nil, 0) {
+			t.Fatal("AllocAt failed")
+		}
+	}
+	if m.FreeHugeBlocks() != 0 {
+		t.Fatalf("huge blocks remain: %d", m.FreeHugeBlocks())
+	}
+	if got := m.FragmentationIndex(); got != 1 {
+		t.Fatalf("fragmentation index = %v, want 1", got)
+	}
+}
+
+// trackingOwner records moves and accepts reclaims.
+type trackingOwner struct {
+	moves    map[Frame]Frame
+	reclaims []Frame
+	veto     bool
+}
+
+func newTrackingOwner() *trackingOwner {
+	return &trackingOwner{moves: make(map[Frame]Frame)}
+}
+
+func (o *trackingOwner) FrameMoved(old, new Frame, cookie uint64) {
+	o.moves[old] = new
+}
+
+func (o *trackingOwner) FrameReclaimed(f Frame, cookie uint64) bool {
+	if o.veto {
+		return false
+	}
+	o.reclaims = append(o.reclaims, f)
+	return true
+}
+
+func TestCompactionCreatesHugeBlock(t *testing.T) {
+	m := newTestMem(t)
+	o := newTrackingOwner()
+	// Scatter one movable page in every region so no huge block exists.
+	var pages []Frame
+	for f := Frame(0); f < Frame(m.TotalPages()); f += HugePages {
+		if !m.AllocAt(f+5, 0, Movable, o, 0) {
+			t.Fatal("AllocAt failed")
+		}
+		pages = append(pages, f+5)
+	}
+	if m.FreeHugeBlocks() != 0 {
+		t.Fatal("setup failed: huge blocks remain")
+	}
+	res := m.TryCompactHuge()
+	if !res.Succeeded {
+		t.Fatal("compaction failed on all-movable fragmentation")
+	}
+	if res.Migrated != 1 {
+		t.Fatalf("migrated %d pages, want 1", res.Migrated)
+	}
+	if len(o.moves) != 1 {
+		t.Fatalf("owner saw %d moves, want 1", len(o.moves))
+	}
+	if m.FreeHugeBlocks() == 0 {
+		t.Fatal("no huge block after successful compaction")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	_ = pages
+}
+
+func TestCompactionSkipsUnmovable(t *testing.T) {
+	m := newTestMem(t)
+	for f := Frame(0); f < Frame(m.TotalPages()); f += HugePages {
+		if !m.AllocAt(f+5, 0, Unmovable, nil, 0) {
+			t.Fatal("AllocAt failed")
+		}
+	}
+	res := m.TryCompactHuge()
+	if res.Succeeded {
+		t.Fatal("compaction succeeded despite unmovable pages everywhere")
+	}
+}
+
+func TestCompactionSkipsHugeBlocks(t *testing.T) {
+	m := newTestMem(t)
+	o := newTrackingOwner()
+	// Region 0: one movable page (the only evacuable candidate).
+	// Region 1: a live huge page — compaction must not tear it apart.
+	// Remaining regions: unmovable fill, except one free destination
+	// page in region 2.
+	if !m.AllocAt(5, 0, Movable, o, 0) {
+		t.Fatal("AllocAt failed")
+	}
+	if !m.AllocAt(HugePages, HugeOrder, Movable, o, 1) {
+		t.Fatal("huge AllocAt failed")
+	}
+	total := Frame(m.TotalPages())
+	dest := Frame(2*HugePages + 7)
+	for f := Frame(2 * HugePages); f < total; f++ {
+		if f == dest {
+			continue
+		}
+		if !m.AllocAt(f, 0, Unmovable, nil, 0) {
+			t.Fatal("fill AllocAt failed")
+		}
+	}
+	res := m.TryCompactHuge()
+	if !res.Succeeded || res.Block != 0 {
+		t.Fatalf("compaction result %+v, want success at region 0", res)
+	}
+	if len(o.moves) != 1 {
+		t.Fatalf("moves = %d, want 1 (huge pages must not be torn apart)", len(o.moves))
+	}
+	if to, ok := o.moves[5]; !ok || to != dest {
+		t.Fatalf("moves = %v, want 5→%d", o.moves, dest)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReclaimOrder(t *testing.T) {
+	m := newTestMem(t)
+	cache := newTrackingOwner()
+	anon := newTrackingOwner()
+	cf := m.Alloc(0, Reclaimable, cache, 0)
+	af := m.Alloc(0, Movable, anon, 0)
+	dropped, swapped := m.ReclaimPages(1)
+	if dropped != 1 || swapped != 0 {
+		t.Fatalf("reclaim = (%d,%d), want page cache first", dropped, swapped)
+	}
+	if len(cache.reclaims) != 1 || cache.reclaims[0] != cf {
+		t.Fatal("page cache frame not reclaimed")
+	}
+	dropped, swapped = m.ReclaimPages(1)
+	if dropped != 0 || swapped != 1 {
+		t.Fatalf("reclaim = (%d,%d), want anonymous swap second", dropped, swapped)
+	}
+	if len(anon.reclaims) != 1 || anon.reclaims[0] != af {
+		t.Fatal("anonymous frame not swapped")
+	}
+}
+
+func TestReclaimRespectsVetoAndPinned(t *testing.T) {
+	m := newTestMem(t)
+	veto := newTrackingOwner()
+	veto.veto = true
+	m.Alloc(0, Movable, veto, 0)
+	m.Alloc(0, Pinned, nil, 0)
+	m.Alloc(0, Unmovable, nil, 0)
+	dropped, swapped := m.ReclaimPages(3)
+	if dropped != 0 || swapped != 0 {
+		t.Fatalf("reclaim = (%d,%d), want nothing reclaimable", dropped, swapped)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	m := newTestMem(t)
+	m.Alloc(0, Movable, nil, 0)
+	m.Alloc(HugeOrder, Movable, nil, 0)
+	s := m.Stats()
+	if s.Allocs4K != 1 || s.AllocsHuge != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestQuickAllocFreeInvariants drives random alloc/free sequences and
+// checks the allocator's internal consistency after each batch.
+func TestQuickAllocFreeInvariants(t *testing.T) {
+	type op struct {
+		Alloc bool
+		Order uint8
+		Pick  uint16
+	}
+	f := func(ops []op) bool {
+		m := New(16 << 20) // 4096 frames
+		type block struct {
+			f     Frame
+			order int
+		}
+		var live []block
+		for _, o := range ops {
+			if o.Alloc || len(live) == 0 {
+				order := int(o.Order) % (MaxOrder + 1)
+				fr := m.Alloc(order, Movable, nil, 0)
+				if fr != NoFrame {
+					live = append(live, block{fr, order})
+				}
+			} else {
+				i := int(o.Pick) % len(live)
+				m.Free(live[i].f, live[i].order)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		return m.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAllocAtInvariants drives random targeted allocations.
+func TestQuickAllocAtInvariants(t *testing.T) {
+	f := func(targets []uint16) bool {
+		m := New(16 << 20)
+		total := Frame(m.TotalPages())
+		for _, tg := range targets {
+			m.AllocAt(Frame(tg)%total, 0, Unmovable, nil, 0)
+		}
+		return m.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactionPreservesInvariants(t *testing.T) {
+	m := newTestMem(t)
+	o := newTrackingOwner()
+	// Random-ish scatter of movable pages, then repeated compaction.
+	for f := Frame(0); f < Frame(m.TotalPages()); f += 97 {
+		m.AllocAt(f, 0, Movable, o, 0)
+	}
+	for i := 0; i < 8; i++ {
+		m.TryCompactHuge()
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("after compaction %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,582 @@
+// Package oskernel implements the operating-system policy layer of the
+// simulation: transparent huge page (THP) modes, page-fault handling
+// with the Linux fault-time huge page allocation chain (free block →
+// compaction → reclaim → 4KB fallback), the khugepaged background
+// promoter, huge page demotion, and swap-in/out.
+//
+// Package vm provides mechanism; this package decides. The split mirrors
+// the paper's distinction between what the hardware/VM can do and what
+// Linux's policy chooses to do with it.
+package oskernel
+
+import (
+	"fmt"
+	"sort"
+
+	"graphmem/internal/cost"
+	"graphmem/internal/memsys"
+	"graphmem/internal/vm"
+)
+
+// THPMode mirrors /sys/kernel/mm/transparent_hugepage/enabled.
+type THPMode uint8
+
+const (
+	// ModeNever disables THP: all mappings use 4KB pages.
+	ModeNever THPMode = iota
+	// ModeMadvise uses huge pages only inside MADV_HUGEPAGE regions.
+	ModeMadvise
+	// ModeAlways uses huge pages for any eligible region.
+	ModeAlways
+)
+
+func (m THPMode) String() string {
+	switch m {
+	case ModeNever:
+		return "never"
+	case ModeMadvise:
+		return "madvise"
+	case ModeAlways:
+		return "always"
+	}
+	return fmt.Sprintf("THPMode(%d)", uint8(m))
+}
+
+// Stats counts kernel activity. Cycle figures separate work charged to
+// the faulting task (FaultCycles) from background daemon work
+// (KhugepagedCycles), as the paper separates user and kernel time.
+type Stats struct {
+	Faults4K       uint64
+	FaultsHuge     uint64
+	HugeFallbacks  uint64 // huge-eligible faults that fell back to 4KB
+	CompactionRuns uint64
+	PagesMigrated  uint64
+	PagesDropped   uint64 // page cache reclaimed
+	SwapIns        uint64
+	SwapOuts       uint64
+	Promotions     uint64
+	Demotions      uint64
+
+	FaultCycles      uint64
+	KhugepagedCycles uint64
+}
+
+// DefragMode mirrors /sys/kernel/mm/transparent_hugepage/defrag: how
+// hard a page fault may work (direct compaction + reclaim) to produce a
+// huge page when no free 2MB block exists.
+type DefragMode uint8
+
+const (
+	// DefragNever: a failed huge allocation falls straight back to 4KB.
+	DefragNever DefragMode = iota
+	// DefragMadvise (the Linux default): only faults inside
+	// MADV_HUGEPAGE regions stall for compaction/reclaim. This is the
+	// setting behind the paper's "huge pages cannot be created in
+	// time" observations for plain THP=always runs.
+	DefragMadvise
+	// DefragAlways: every eligible fault may stall for defragmentation.
+	DefragAlways
+)
+
+func (d DefragMode) String() string {
+	switch d {
+	case DefragNever:
+		return "never"
+	case DefragMadvise:
+		return "madvise"
+	case DefragAlways:
+		return "always"
+	}
+	return fmt.Sprintf("DefragMode(%d)", uint8(d))
+}
+
+// Config tunes the policy engine.
+type Config struct {
+	Mode THPMode
+
+	// Defrag controls fault-time compaction/reclaim effort.
+	Defrag DefragMode
+
+	// FaultTimeHuge permits huge page allocation directly in the page
+	// fault path (Linux THP behaviour). Utilization-driven designs in
+	// the paper's related work (Ingens, HawkEye) disable it: faults
+	// always map base pages and a background scanner promotes regions
+	// that earn it, trading first-touch latency for less bloat.
+	FaultTimeHuge bool
+
+	// PromoteByHeat makes the background scanner promote the
+	// most-accessed eligible regions first (HawkEye-style access-
+	// frequency ranking) instead of round-robin scanning.
+	PromoteByHeat bool
+
+	// KhugepagedEnabled turns on the background promoter.
+	KhugepagedEnabled bool
+
+	// KhugepagedInterval is the simulated-cycle cadence between
+	// background scan batches (driven by the machine's Tick).
+	KhugepagedInterval uint64
+
+	// KhugepagedRegionsPerScan bounds promotions per scan batch.
+	KhugepagedRegionsPerScan int
+
+	// MaxPtesNone is khugepaged's promotion threshold: a region with
+	// more than this many unmapped base pages is not promoted. Linux's
+	// default of 511 promotes aggressively; 0 requires full population.
+	MaxPtesNone int
+
+	// ReclaimBatch is how many pages direct reclaim frees at once when
+	// a 4KB allocation fails.
+	ReclaimBatch int
+
+	// HugetlbReserve reserves this many 2MB pages at kernel
+	// construction ("boot time"), before any workload or interference
+	// touches memory — the hugetlbfs mechanism of §2.3. Reserved pages
+	// back MADV_HUGEPAGE regions with priority and are immune to
+	// fragmentation, pressure, and reclaim; the price is that the
+	// reservation is subtracted from everyone's free memory whether
+	// used or not.
+	HugetlbReserve int
+}
+
+// DefaultConfig returns the policy configuration matching the paper's
+// "Linux THP policy" runs: THP always on, fault-time defrag permitted,
+// khugepaged enabled with the kernel default promotion threshold.
+func DefaultConfig() Config {
+	return Config{
+		Mode:                     ModeAlways,
+		Defrag:                   DefragMadvise,
+		FaultTimeHuge:            true,
+		KhugepagedEnabled:        true,
+		KhugepagedInterval:       10_000_000,
+		KhugepagedRegionsPerScan: 8,
+		MaxPtesNone:              511,
+		ReclaimBatch:             64,
+	}
+}
+
+// IngensConfig approximates Ingens' utilization-based management
+// (Kwon et al., OSDI'16): no fault-time huge pages; an asynchronous
+// promoter collapses regions once ≥90% of their base pages are
+// populated. This curbs bloat but, as the paper's related work notes,
+// utilization is blind to access frequency.
+func IngensConfig() Config {
+	c := DefaultConfig()
+	c.FaultTimeHuge = false
+	c.KhugepagedInterval = 2_000_000 // more eager than khugepaged
+	c.KhugepagedRegionsPerScan = 16
+	c.MaxPtesNone = 51 // ≈90% utilization threshold
+	return c
+}
+
+// HawkEyeConfig approximates HawkEye's access-driven management
+// (Panwar et al., ASPLOS'19): no fault-time huge pages; the promoter
+// ranks eligible regions by observed access heat and collapses the
+// hottest first.
+func HawkEyeConfig() Config {
+	c := DefaultConfig()
+	c.FaultTimeHuge = false
+	c.PromoteByHeat = true
+	c.KhugepagedInterval = 2_000_000
+	c.KhugepagedRegionsPerScan = 16
+	c.MaxPtesNone = 256 // promote hot regions even when half-populated
+	return c
+}
+
+// BaselineConfig returns the paper's baseline: THP disabled system-wide.
+func BaselineConfig() Config {
+	c := DefaultConfig()
+	c.Mode = ModeNever
+	c.KhugepagedEnabled = false
+	return c
+}
+
+// MadviseConfig returns programmer-directed mode: huge pages only where
+// madvise(MADV_HUGEPAGE) was applied.
+func MadviseConfig() Config {
+	c := DefaultConfig()
+	c.Mode = ModeMadvise
+	return c
+}
+
+// Kernel is the live policy engine for one address space.
+type Kernel struct {
+	cfg   Config
+	mem   *memsys.Memory
+	space *vm.AddressSpace
+	model cost.Model
+
+	stats Stats
+
+	// khugepaged scan cursor (vma index, region index) so repeated
+	// batches make progress across the whole address space.
+	scanVMA    int
+	scanRegion int
+	lastScan   uint64
+
+	// demotion cursor for reclaim-driven huge page splitting.
+	demoteVMA    int
+	demoteRegion int
+
+	// hugetlbPool holds boot-time reserved huge frames (hugetlbfs).
+	hugetlbPool []memsys.Frame
+}
+
+// New wires a kernel to an address space and cost model. If the config
+// reserves a hugetlb pool, the reservation happens here — at "boot",
+// before any interference can fragment memory. Reservations the memory
+// cannot satisfy are silently truncated, as the real sysctl is.
+func New(cfg Config, space *vm.AddressSpace, model cost.Model) *Kernel {
+	k := &Kernel{cfg: cfg, mem: space.Mem(), space: space, model: model}
+	for i := 0; i < cfg.HugetlbReserve; i++ {
+		f := k.mem.Alloc(memsys.HugeOrder, memsys.Unmovable, nil, 0)
+		if f == memsys.NoFrame {
+			break
+		}
+		k.hugetlbPool = append(k.hugetlbPool, f)
+	}
+	return k
+}
+
+// HugetlbFree reports how many reserved huge pages remain unused.
+func (k *Kernel) HugetlbFree() int { return len(k.hugetlbPool) }
+
+// Stats returns a copy of the counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// ResetStats zeroes the counters.
+func (k *Kernel) ResetStats() { k.stats = Stats{} }
+
+// Config returns the active configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// SetMode changes the THP mode at runtime (like writing the sysfs knob).
+func (k *Kernel) SetMode(m THPMode) { k.cfg.Mode = m }
+
+// hugeEligible reports whether region r of v may be backed by a huge
+// page under the current mode and the region's madvise state. Partial
+// tail regions are never eligible (the kernel requires a full 2MB span).
+func (k *Kernel) hugeEligible(v *vm.VMA, r int) bool {
+	if r >= v.FullRegions() {
+		return false
+	}
+	switch v.AdviceAt(r) {
+	case vm.AdviceNoHuge:
+		return false
+	case vm.AdviceHuge:
+		return k.cfg.Mode != ModeNever
+	default:
+		return k.cfg.Mode == ModeAlways
+	}
+}
+
+// HandleFault services a page fault and returns the cycle cost charged
+// to the faulting task. It panics on out-of-memory with all reclaim
+// exhausted, which in this simulator indicates a mis-sized experiment
+// rather than a modelled condition.
+func (k *Kernel) HandleFault(f *vm.FaultInfo) uint64 {
+	var cycles uint64
+	if f.Swapped {
+		cycles = k.swapIn(f)
+	} else {
+		cycles = k.demandFault(f)
+	}
+	k.stats.FaultCycles += cycles
+	return cycles
+}
+
+// demandFault maps a never-touched page, choosing huge vs base.
+func (k *Kernel) demandFault(f *vm.FaultInfo) uint64 {
+	v, p := f.VMA, f.Page
+	r := p / vm.RegionPages
+	if k.cfg.FaultTimeHuge && k.hugeEligible(v, r) && v.Present4KInRegion(r) == 0 && !v.HugeMapped(r) {
+		if cycles, ok := k.tryMapHuge(v, r); ok {
+			return cycles
+		}
+		k.stats.HugeFallbacks++
+	}
+	return k.mapBase(v, p, k.model.MinorFault4K)
+}
+
+// mayDefrag reports whether a fault in region r of v is allowed to stall
+// for compaction and direct reclaim under the defrag setting.
+func (k *Kernel) mayDefrag(v *vm.VMA, r int) bool {
+	switch k.cfg.Defrag {
+	case DefragAlways:
+		return true
+	case DefragMadvise:
+		return v.AdviceAt(r) == vm.AdviceHuge
+	default:
+		return false
+	}
+}
+
+// tryMapHuge attempts the huge allocation chain: the hugetlb
+// reservation first (for advised regions), then the Linux fault-time
+// path (free block → compaction → reclaim).
+func (k *Kernel) tryMapHuge(v *vm.VMA, r int) (uint64, bool) {
+	if len(k.hugetlbPool) > 0 && v.AdviceAt(r) == vm.AdviceHuge {
+		hf := k.hugetlbPool[len(k.hugetlbPool)-1]
+		k.hugetlbPool = k.hugetlbPool[:len(k.hugetlbPool)-1]
+		// Reserved frames were allocated Unmovable at boot; hand the
+		// block to the mapping as-is (it stays exempt from reclaim
+		// because its migrate type never becomes Movable).
+		k.space.MapHuge(v, r, hf)
+		k.stats.FaultsHuge++
+		return k.model.MinorFault2M, true
+	}
+	var cycles uint64
+	hf := k.mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
+	if hf == memsys.NoFrame && k.mayDefrag(v, r) {
+		// Direct compaction.
+		res := k.mem.TryCompactHuge()
+		k.stats.CompactionRuns++
+		k.stats.PagesMigrated += uint64(res.Migrated)
+		cycles += uint64(res.Migrated) * k.model.CompactPerPage
+		if res.Succeeded {
+			hf = k.mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
+		}
+		if hf == memsys.NoFrame {
+			// Direct reclaim to open up room, then compact again.
+			cycles += k.reclaim(2 * memsys.HugePages)
+			res = k.mem.TryCompactHuge()
+			k.stats.CompactionRuns++
+			k.stats.PagesMigrated += uint64(res.Migrated)
+			cycles += uint64(res.Migrated) * k.model.CompactPerPage
+			if res.Succeeded {
+				hf = k.mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
+			}
+		}
+	}
+	if hf == memsys.NoFrame {
+		return cycles, false
+	}
+	k.space.MapHuge(v, r, hf)
+	k.stats.FaultsHuge++
+	return cycles + k.model.MinorFault2M, true
+}
+
+// mapBase maps page p with a 4KB frame, reclaiming if needed.
+func (k *Kernel) mapBase(v *vm.VMA, p int, faultCost uint64) uint64 {
+	var cycles uint64
+	f := k.mem.Alloc(0, memsys.Movable, nil, 0)
+	if f == memsys.NoFrame {
+		cycles += k.reclaim(k.cfg.ReclaimBatch)
+		f = k.mem.Alloc(0, memsys.Movable, nil, 0)
+		if f == memsys.NoFrame {
+			panic(fmt.Sprintf("oskernel: OOM mapping %s page %d (free=%d)",
+				v.Name, p, k.mem.FreePages()))
+		}
+	}
+	k.space.MapBase(v, p, f)
+	k.stats.Faults4K++
+	return cycles + faultCost
+}
+
+// swapIn brings a swapped page back from the swap device.
+func (k *Kernel) swapIn(f *vm.FaultInfo) uint64 {
+	cycles := k.model.SwapInPage
+	k.stats.SwapIns++
+	return cycles + k.mapBase(f.VMA, f.Page, k.model.MinorFault4K)
+}
+
+// reclaim frees up to want pages and returns the cycle cost of doing so
+// (page cache drops are cheap; swap-outs pay device I/O). When base
+// pages run out, huge pages are demoted back to base pages so their
+// constituents become swappable — Linux's split-under-reclaim behaviour,
+// without which a fully-THP-backed workload could never be swapped and
+// would OOM instead of thrashing.
+func (k *Kernel) reclaim(want int) uint64 {
+	var cycles uint64
+	got := 0
+	for {
+		dropped, swapped := k.mem.ReclaimPages(want - got)
+		k.stats.PagesDropped += uint64(dropped)
+		k.stats.SwapOuts += uint64(swapped)
+		cycles += uint64(dropped)*k.model.ReclaimPerPage + uint64(swapped)*k.model.SwapOutPage
+		got += dropped + swapped
+		if got >= want {
+			return cycles
+		}
+		if !k.demoteOneHuge() {
+			return cycles
+		}
+		cycles += k.model.DemotionFixed
+	}
+}
+
+// demoteOneHuge splits the next huge-mapped region (round-robin over the
+// address space) so reclaim can make progress. Returns false when no
+// huge mapping remains.
+func (k *Kernel) demoteOneHuge() bool {
+	vmas := k.space.VMAs()
+	if len(vmas) == 0 {
+		return false
+	}
+	if k.demoteVMA >= len(vmas) {
+		k.demoteVMA, k.demoteRegion = 0, 0
+	}
+	total := 0
+	for _, v := range vmas {
+		total += v.Regions()
+	}
+	for visited := 0; visited < total; visited++ {
+		v := vmas[k.demoteVMA]
+		r := k.demoteRegion
+		k.demoteRegion++
+		if k.demoteRegion >= v.Regions() {
+			k.demoteVMA = (k.demoteVMA + 1) % len(vmas)
+			k.demoteRegion = 0
+		}
+		if r < v.Regions() && v.HugeMapped(r) {
+			k.space.DemoteHuge(v, r)
+			k.stats.Demotions++
+			return true
+		}
+	}
+	return false
+}
+
+// Tick drives background work. now is the machine's accumulated cycle
+// count; khugepaged runs one scan batch per configured interval. The
+// returned cycles are daemon time (recorded in stats, not charged to the
+// application, which matches khugepaged running on a spare core).
+func (k *Kernel) Tick(now uint64) {
+	if !k.cfg.KhugepagedEnabled || k.cfg.Mode == ModeNever {
+		return
+	}
+	if now-k.lastScan < k.cfg.KhugepagedInterval {
+		return
+	}
+	k.lastScan = now
+	k.stats.KhugepagedCycles += k.khugepagedScan()
+}
+
+// khugepagedScan promotes up to KhugepagedRegionsPerScan eligible
+// regions, resuming from the previous cursor position (or, under
+// PromoteByHeat, taking the hottest candidates first).
+func (k *Kernel) khugepagedScan() uint64 {
+	var cycles uint64
+	vmas := k.space.VMAs()
+	if len(vmas) == 0 {
+		return 0
+	}
+	if k.cfg.PromoteByHeat {
+		return k.heatScan(vmas)
+	}
+	promoted := 0
+	if k.scanVMA >= len(vmas) {
+		k.scanVMA, k.scanRegion = 0, 0
+	}
+	// Visit every (vma, region) pair at most once per scan.
+	total := 0
+	for _, v := range vmas {
+		total += v.FullRegions()
+	}
+	for visited := 0; visited < total && promoted < k.cfg.KhugepagedRegionsPerScan; visited++ {
+		v := vmas[k.scanVMA]
+		r := k.scanRegion
+		k.scanRegion++
+		if k.scanRegion >= v.FullRegions() {
+			k.scanVMA = (k.scanVMA + 1) % len(vmas)
+			k.scanRegion = 0
+		}
+		if r >= v.FullRegions() {
+			continue
+		}
+		if c, ok := k.promoteRegion(v, r); ok {
+			cycles += c
+			promoted++
+		}
+	}
+	return cycles
+}
+
+// heatScan is the PromoteByHeat scan body: rank every eligible region by
+// accumulated access heat and promote the hottest few.
+func (k *Kernel) heatScan(vmas []*vm.VMA) uint64 {
+	type cand struct {
+		v    *vm.VMA
+		r    int
+		heat uint64
+	}
+	var cands []cand
+	for _, v := range vmas {
+		for r := 0; r < v.FullRegions(); r++ {
+			if !k.hugeEligible(v, r) || v.HugeMapped(r) {
+				continue
+			}
+			present := v.Present4KInRegion(r)
+			if present == 0 || vm.RegionPages-present > k.cfg.MaxPtesNone {
+				continue
+			}
+			cands = append(cands, cand{v, r, v.Heat[r]})
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].heat > cands[b].heat })
+	var cycles uint64
+	promoted := 0
+	for _, c := range cands {
+		if promoted >= k.cfg.KhugepagedRegionsPerScan {
+			break
+		}
+		if cyc, ok := k.promoteRegion(c.v, c.r); ok {
+			cycles += cyc
+			promoted++
+		}
+	}
+	return cycles
+}
+
+// promoteRegion collapses region r of v into a huge page if it meets the
+// max_ptes_none threshold and a huge frame can be obtained.
+func (k *Kernel) promoteRegion(v *vm.VMA, r int) (uint64, bool) {
+	if !k.hugeEligible(v, r) || v.HugeMapped(r) {
+		return 0, false
+	}
+	present := v.Present4KInRegion(r)
+	if present == 0 || vm.RegionPages-present > k.cfg.MaxPtesNone {
+		return 0, false
+	}
+	var cycles uint64
+	hf := k.mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
+	if hf == memsys.NoFrame {
+		// khugepaged always defragments (khugepaged_defrag default).
+		res := k.mem.TryCompactHuge()
+		k.stats.CompactionRuns++
+		k.stats.PagesMigrated += uint64(res.Migrated)
+		cycles += uint64(res.Migrated) * k.model.CompactPerPage
+		if !res.Succeeded {
+			return cycles, false
+		}
+		hf = k.mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
+		if hf == memsys.NoFrame {
+			return cycles, false
+		}
+	}
+	// Copy the present pages into the huge frame, release the old 4KB
+	// frames, and install the huge mapping.
+	lo := r * vm.RegionPages
+	for i := 0; i < vm.RegionPages; i++ {
+		p := lo + i
+		if v.Present4KInRegion(r) == 0 {
+			break
+		}
+		// UnmapBase panics on unmapped pages; probe via translation.
+		if tr, _, ok := k.space.Translate(v.PageVA(p)); ok && tr.Size == vm.Page4K {
+			old := k.space.UnmapBase(v, p)
+			k.mem.Free(old, 0)
+			cycles += k.model.PromotionCopy
+		}
+	}
+	k.space.MapHuge(v, r, hf)
+	k.stats.Promotions++
+	return cycles, true
+}
+
+// Demote splits the huge mapping of region r in v back into base pages
+// (used by reclaim pressure paths and exposed for experiments).
+func (k *Kernel) Demote(v *vm.VMA, r int) uint64 {
+	k.space.DemoteHuge(v, r)
+	k.stats.Demotions++
+	return k.model.DemotionFixed
+}

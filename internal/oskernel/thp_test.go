@@ -1,0 +1,538 @@
+package oskernel
+
+import (
+	"testing"
+
+	"graphmem/internal/cost"
+	"graphmem/internal/memsys"
+	"graphmem/internal/vm"
+)
+
+func newKernel(t *testing.T, cfg Config) (*Kernel, *vm.AddressSpace, *memsys.Memory) {
+	t.Helper()
+	mem := memsys.New(64 << 20)
+	space := vm.NewAddressSpace(mem)
+	return New(cfg, space, cost.Fast()), space, mem
+}
+
+// fault triggers the fault path for page p of v.
+func fault(t *testing.T, k *Kernel, space *vm.AddressSpace, v *vm.VMA, p int) uint64 {
+	t.Helper()
+	_, fi, ok := space.Translate(v.PageVA(p))
+	if ok {
+		t.Fatalf("page %d already mapped", p)
+	}
+	if fi == nil {
+		t.Fatalf("page %d not in any VMA", p)
+	}
+	return k.HandleFault(fi)
+}
+
+func TestModeNeverNeverHuge(t *testing.T) {
+	k, space, _ := newKernel(t, BaselineConfig())
+	v := space.Mmap("a", 4*memsys.HugeSize)
+	v.Madvise(0, v.Bytes, vm.AdviceHuge) // advice must be ignored
+	fault(t, k, space, v, 0)
+	if v.HugeMapped(0) {
+		t.Fatal("huge page under ModeNever")
+	}
+	if k.Stats().Faults4K != 1 {
+		t.Fatalf("stats = %+v", k.Stats())
+	}
+}
+
+func TestModeAlwaysHugeOnFirstTouch(t *testing.T) {
+	k, space, _ := newKernel(t, DefaultConfig())
+	v := space.Mmap("a", 4*memsys.HugeSize)
+	cycles := fault(t, k, space, v, 700) // page in region 1
+	if !v.HugeMapped(1) {
+		t.Fatal("no huge page under ModeAlways on first touch")
+	}
+	if cycles < cost.Fast().MinorFault2M {
+		t.Fatalf("huge fault cost %d below MinorFault2M", cycles)
+	}
+	// The rest of the region must now translate without faulting.
+	if _, _, ok := space.Translate(v.PageVA(512)); !ok {
+		t.Fatal("region not fully mapped after huge fault")
+	}
+}
+
+func TestModeMadviseRequiresAdvice(t *testing.T) {
+	k, space, _ := newKernel(t, MadviseConfig())
+	v := space.Mmap("a", 4*memsys.HugeSize)
+	v.Madvise(0, memsys.HugeSize, vm.AdviceHuge) // region 0 only
+	fault(t, k, space, v, 0)
+	fault(t, k, space, v, 512)
+	if !v.HugeMapped(0) {
+		t.Fatal("advised region not huge")
+	}
+	if v.HugeMapped(1) {
+		t.Fatal("unadvised region huge under ModeMadvise")
+	}
+}
+
+func TestNoHugeAdviceBlocksAlways(t *testing.T) {
+	k, space, _ := newKernel(t, DefaultConfig())
+	v := space.Mmap("a", 2*memsys.HugeSize)
+	v.Madvise(0, memsys.HugeSize, vm.AdviceNoHuge)
+	fault(t, k, space, v, 0)
+	if v.HugeMapped(0) {
+		t.Fatal("MADV_NOHUGEPAGE ignored")
+	}
+}
+
+func TestPartialTailRegionNeverHuge(t *testing.T) {
+	k, space, _ := newKernel(t, DefaultConfig())
+	v := space.Mmap("a", memsys.HugeSize+memsys.PageSize)
+	fault(t, k, space, v, vm.RegionPages) // the lone tail page
+	if v.HugeMapped(1) {
+		t.Fatal("partial region mapped huge")
+	}
+}
+
+func TestRegionWith4KPagesFaultsBase(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KhugepagedEnabled = false
+	k, space, mem := newKernel(t, cfg)
+	v := space.Mmap("a", 2*memsys.HugeSize)
+	// Pre-map one 4K page in region 0: subsequent faults in that
+	// region must use base pages (no huge fault over existing PTEs).
+	f := mem.Alloc(0, memsys.Movable, nil, 0)
+	space.MapBase(v, 3, f)
+	fault(t, k, space, v, 10)
+	if v.HugeMapped(0) {
+		t.Fatal("huge fault over populated region")
+	}
+}
+
+// exhaustHuge consumes every free huge block, then frees every other
+// page of the last block so plenty of 4K memory remains free but no
+// contiguous 2MB region exists.
+func exhaustHuge(t *testing.T, mem *memsys.Memory) {
+	t.Helper()
+	last := memsys.NoFrame
+	for {
+		f := mem.Alloc(memsys.HugeOrder, memsys.Unmovable, nil, 0)
+		if f == memsys.NoFrame {
+			break
+		}
+		last = f
+	}
+	if last == memsys.NoFrame {
+		t.Fatal("exhaustHuge: no huge block was available")
+	}
+	mem.SplitAllocated(last, memsys.HugeOrder)
+	for i := memsys.Frame(0); i < memsys.HugePages; i += 2 {
+		mem.Free(last+i, 0)
+	}
+	if mem.FreeHugeBlocks() != 0 {
+		t.Fatal("exhaustHuge: huge blocks remain")
+	}
+}
+
+// hogAllButScattered allocates every free huge block, then splits the
+// last `split` of them and frees every other constituent page: plenty of
+// scattered 4K memory remains free, but no 2MB contiguity. It returns
+// the intact hog blocks so tests can release contiguity later.
+func hogAllButScattered(t *testing.T, mem *memsys.Memory, split int) []memsys.Frame {
+	t.Helper()
+	var hogs []memsys.Frame
+	for {
+		f := mem.Alloc(memsys.HugeOrder, memsys.Unmovable, nil, 0)
+		if f == memsys.NoFrame {
+			break
+		}
+		hogs = append(hogs, f)
+	}
+	if len(hogs) < split {
+		t.Fatal("hogAllButScattered: not enough huge blocks")
+	}
+	for i := 0; i < split; i++ {
+		f := hogs[len(hogs)-1]
+		hogs = hogs[:len(hogs)-1]
+		mem.SplitAllocated(f, memsys.HugeOrder)
+		for j := memsys.Frame(0); j < memsys.HugePages; j += 2 {
+			mem.Free(f+j, 0)
+		}
+	}
+	if mem.FreeHugeBlocks() != 0 {
+		t.Fatal("hogAllButScattered: huge blocks remain")
+	}
+	return hogs
+}
+
+func TestFallbackTo4KWithoutDefrag(t *testing.T) {
+	cfg := DefaultConfig() // Defrag=madvise; VMA not advised → no stall
+	k, space, mem := newKernel(t, cfg)
+	exhaustHuge(t, mem)
+	v := space.Mmap("a", 2*memsys.HugeSize)
+	fault(t, k, space, v, 0)
+	if v.HugeMapped(0) {
+		t.Fatal("huge page appeared with no free huge blocks")
+	}
+	s := k.Stats()
+	if s.HugeFallbacks != 1 || s.Faults4K != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.CompactionRuns != 0 {
+		t.Fatal("non-advised fault ran direct compaction under defrag=madvise")
+	}
+}
+
+func TestDefragMadviseStallsForAdvised(t *testing.T) {
+	k, space, mem := newKernel(t, MadviseConfig())
+	// Fragment all memory with movable pages so compaction CAN fix it.
+	owner := space // any Owner works; frames here are never mapped
+	_ = owner
+	total := memsys.Frame(mem.TotalPages())
+	for f := memsys.Frame(0); f < total; f += memsys.HugePages {
+		if !mem.AllocAt(f+1, 0, memsys.Pinned, nil, 0) {
+			t.Fatal("setup alloc failed")
+		}
+	}
+	if mem.FreeHugeBlocks() != 0 {
+		t.Fatal("setup: huge blocks remain")
+	}
+	v := space.Mmap("a", 2*memsys.HugeSize)
+	v.Madvise(0, v.Bytes, vm.AdviceHuge)
+	fault(t, k, space, v, 0)
+	if !v.HugeMapped(0) {
+		t.Fatal("advised fault did not compact its way to a huge page")
+	}
+	s := k.Stats()
+	if s.CompactionRuns == 0 || s.PagesMigrated == 0 {
+		t.Fatalf("no compaction recorded: %+v", s)
+	}
+}
+
+func TestSwapInCost(t *testing.T) {
+	cfg := BaselineConfig()
+	k, space, mem := newKernel(t, cfg)
+	v := space.Mmap("a", memsys.HugeSize)
+	fault(t, k, space, v, 0)
+	if d, s := mem.ReclaimPages(1); d+s != 1 {
+		t.Fatal("reclaim failed")
+	}
+	_, fi, _ := space.Translate(v.PageVA(0))
+	if fi == nil || !fi.Swapped {
+		t.Fatal("page not swapped")
+	}
+	cycles := k.HandleFault(fi)
+	if cycles < cost.Fast().SwapInPage {
+		t.Fatalf("swap-in fault cost %d below device latency", cycles)
+	}
+	if k.Stats().SwapIns != 1 {
+		t.Fatalf("stats = %+v", k.Stats())
+	}
+}
+
+func TestKhugepagedPromotes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = ModeAlways
+	cfg.KhugepagedInterval = 1
+	cfg.KhugepagedRegionsPerScan = 64
+	k, space, mem := newKernel(t, cfg)
+
+	// Consume free huge blocks so the faults all land on 4K pages,
+	// leaving scattered 4K holes to fault into...
+	hogs := hogAllButScattered(t, mem, 2)
+	v := space.Mmap("a", memsys.HugeSize)
+	for p := 0; p < vm.RegionPages; p++ {
+		fault(t, k, space, v, p)
+	}
+	if v.HugeMapped(0) {
+		t.Fatal("setup: region went huge at fault time")
+	}
+	// ...then release contiguity and let khugepaged collapse it.
+	for _, f := range hogs {
+		mem.Free(f, memsys.HugeOrder)
+	}
+	k.Tick(100)
+	if !v.HugeMapped(0) {
+		t.Fatal("khugepaged did not promote a fully-populated region")
+	}
+	s := k.Stats()
+	if s.Promotions != 1 || s.KhugepagedCycles == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Promotion must not leak the old 4K frames: only the huge page
+	// (plus the hog-era splits) remain.
+	if _, _, ok := space.Translate(v.PageVA(100)); !ok {
+		t.Fatal("translation broken after promotion")
+	}
+}
+
+func TestKhugepagedMaxPtesNone(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KhugepagedInterval = 1
+	cfg.MaxPtesNone = 0 // require fully-populated regions
+	k, space, mem := newKernel(t, cfg)
+	hogs := hogAllButScattered(t, mem, 2)
+	v := space.Mmap("a", memsys.HugeSize)
+	for p := 0; p < vm.RegionPages/2; p++ {
+		fault(t, k, space, v, p)
+	}
+	for _, f := range hogs {
+		mem.Free(f, memsys.HugeOrder)
+	}
+	k.Tick(100)
+	if v.HugeMapped(0) {
+		t.Fatal("half-populated region promoted despite MaxPtesNone=0")
+	}
+}
+
+func TestDemoteSplitsMapping(t *testing.T) {
+	k, space, _ := newKernel(t, DefaultConfig())
+	v := space.Mmap("a", memsys.HugeSize)
+	fault(t, k, space, v, 0)
+	if !v.HugeMapped(0) {
+		t.Fatal("setup: not huge")
+	}
+	k.Demote(v, 0)
+	if v.HugeMapped(0) {
+		t.Fatal("still huge after Demote")
+	}
+	if k.Stats().Demotions != 1 {
+		t.Fatalf("stats = %+v", k.Stats())
+	}
+}
+
+func TestReclaimDemotesHugeUnderPressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KhugepagedEnabled = false
+	k, space, mem := newKernel(t, cfg)
+	v := space.Mmap("a", 2*uint64(mem.TotalPages())*memsys.PageSize)
+	// Fault everything huge until memory is exhausted, then one more
+	// 4K fault forces reclaim, which must demote+swap.
+	r := 0
+	for mem.FreeHugeBlocks() > 0 {
+		fault(t, k, space, v, r*vm.RegionPages)
+		r++
+	}
+	free := mem.FreePages()
+	if free != 0 {
+		t.Fatalf("setup: %d pages still free", free)
+	}
+	fault(t, k, space, v, r*vm.RegionPages)
+	s := k.Stats()
+	if space.ReclaimDemotions == 0 {
+		t.Fatalf("pressure fault did not split a THP: %+v", s)
+	}
+	if s.SwapOuts == 0 {
+		t.Fatalf("pressure fault did not swap: %+v", s)
+	}
+}
+
+func TestTickCadence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KhugepagedInterval = 1000
+	k, space, _ := newKernel(t, cfg)
+	_ = space.Mmap("a", memsys.HugeSize)
+	k.Tick(500) // before the interval elapses: no scan
+	k.Tick(999)
+	if k.lastScan != 0 {
+		t.Fatal("scan ran before interval")
+	}
+	k.Tick(1500)
+	if k.lastScan != 1500 {
+		t.Fatal("scan did not run after interval")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeAlways.String() != "always" || ModeNever.String() != "never" ||
+		ModeMadvise.String() != "madvise" {
+		t.Fatal("THPMode strings wrong")
+	}
+	if DefragMadvise.String() != "madvise" || DefragNever.String() != "never" ||
+		DefragAlways.String() != "always" {
+		t.Fatal("DefragMode strings wrong")
+	}
+}
+
+func TestIngensNoFaultTimeHuge(t *testing.T) {
+	k, space, _ := newKernel(t, IngensConfig())
+	v := space.Mmap("a", 4*memsys.HugeSize)
+	fault(t, k, space, v, 0)
+	if v.HugeMapped(0) {
+		t.Fatal("Ingens-style engine allocated a huge page at fault time")
+	}
+}
+
+func TestIngensPromotesAtUtilization(t *testing.T) {
+	cfg := IngensConfig()
+	cfg.KhugepagedInterval = 1
+	k, space, _ := newKernel(t, cfg)
+	v := space.Mmap("a", memsys.HugeSize)
+	// Populate just below the 90% threshold: no promotion.
+	for p := 0; p < vm.RegionPages-cfg.MaxPtesNone-1; p++ {
+		fault(t, k, space, v, p)
+	}
+	k.Tick(10)
+	if v.HugeMapped(0) {
+		t.Fatal("promoted below utilization threshold")
+	}
+	// Cross the threshold: promotion follows.
+	for p := vm.RegionPages - cfg.MaxPtesNone - 1; p < vm.RegionPages; p++ {
+		fault(t, k, space, v, p)
+	}
+	k.Tick(20)
+	if !v.HugeMapped(0) {
+		t.Fatal("did not promote at utilization threshold")
+	}
+}
+
+func TestHawkEyePromotesHottestFirst(t *testing.T) {
+	cfg := HawkEyeConfig()
+	cfg.KhugepagedInterval = 1
+	cfg.KhugepagedRegionsPerScan = 1 // one promotion per scan: order is observable
+	k, space, _ := newKernel(t, cfg)
+	v := space.Mmap("a", 3*memsys.HugeSize)
+	for p := 0; p < 3*vm.RegionPages; p++ {
+		fault(t, k, space, v, p)
+	}
+	// Region 1 is the hottest, region 0 cold, region 2 warm.
+	v.Heat[0], v.Heat[1], v.Heat[2] = 10, 1000, 100
+	k.Tick(10)
+	if !v.HugeMapped(1) || v.HugeMapped(0) || v.HugeMapped(2) {
+		t.Fatalf("first promotion order wrong: %v %v %v",
+			v.HugeMapped(0), v.HugeMapped(1), v.HugeMapped(2))
+	}
+	k.Tick(20)
+	if !v.HugeMapped(2) {
+		t.Fatal("second promotion did not take the next-hottest region")
+	}
+}
+
+func TestHugetlbReservationSurvivesFragmentation(t *testing.T) {
+	cfg := MadviseConfig()
+	cfg.HugetlbReserve = 2
+	k, space, mem := newKernel(t, cfg)
+	if k.HugetlbFree() != 2 {
+		t.Fatalf("reserved %d, want 2", k.HugetlbFree())
+	}
+	// Destroy all remaining contiguity with unmovable litter.
+	total := memsys.Frame(mem.TotalPages())
+	for f := memsys.Frame(0); f < total; f += memsys.HugePages {
+		mem.AllocAt(f+3, 0, memsys.Unmovable, nil, 0)
+	}
+	if mem.FreeHugeBlocks() != 0 {
+		t.Fatal("setup: contiguity remains")
+	}
+	v := space.Mmap("a", 3*memsys.HugeSize)
+	v.Madvise(0, 2*memsys.HugeSize, vm.AdviceHuge)
+	fault(t, k, space, v, 0)
+	fault(t, k, space, v, 512)
+	fault(t, k, space, v, 1024) // unadvised region: not pool-eligible
+	if !v.HugeMapped(0) || !v.HugeMapped(1) {
+		t.Fatal("reserved pool did not back the advised regions")
+	}
+	if v.HugeMapped(2) {
+		t.Fatal("unadvised region stole from the pool")
+	}
+	if k.HugetlbFree() != 0 {
+		t.Fatalf("pool remaining %d, want 0", k.HugetlbFree())
+	}
+	// Pool-backed mappings are immune to reclaim splitting.
+	d, s := mem.ReclaimPages(4)
+	if v.HugeMapped(0) != true || space.ReclaimDemotions != 0 {
+		t.Fatalf("reserved mapping split under reclaim (d=%d s=%d)", d, s)
+	}
+}
+
+func TestHugetlbReserveTruncatesGracefully(t *testing.T) {
+	cfg := MadviseConfig()
+	cfg.HugetlbReserve = 1 << 20 // far beyond memory
+	k, _, _ := newKernel(t, cfg)
+	if k.HugetlbFree() == 0 || k.HugetlbFree() >= 1<<20 {
+		t.Fatalf("reservation = %d, want truncated to memory size", k.HugetlbFree())
+	}
+}
+
+func TestConfigAccessorsAndSetMode(t *testing.T) {
+	k, space, _ := newKernel(t, DefaultConfig())
+	if k.Config().Mode != ModeAlways {
+		t.Fatal("Config() wrong")
+	}
+	k.SetMode(ModeNever)
+	v := space.Mmap("a", 2*memsys.HugeSize)
+	fault(t, k, space, v, 0)
+	if v.HugeMapped(0) {
+		t.Fatal("SetMode(never) ignored")
+	}
+	k.ResetStats()
+	if k.Stats().Faults4K != 0 {
+		t.Fatal("ResetStats incomplete")
+	}
+}
+
+func TestDefragAlwaysStallsForUnadvised(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Defrag = DefragAlways
+	k, space, mem := newKernel(t, cfg)
+	// Movable fragmentation everywhere: only compaction can produce a
+	// huge page.
+	total := memsys.Frame(mem.TotalPages())
+	for f := memsys.Frame(0); f < total; f += memsys.HugePages {
+		if !mem.AllocAt(f+1, 0, memsys.Pinned, nil, 0) {
+			t.Fatal("setup failed")
+		}
+	}
+	v := space.Mmap("a", 2*memsys.HugeSize) // NOT advised
+	fault(t, k, space, v, 0)
+	if !v.HugeMapped(0) {
+		t.Fatal("defrag=always did not compact for an unadvised fault")
+	}
+}
+
+func TestDemoteOneHugeFallbackUnderReclaim(t *testing.T) {
+	// When reclaim's split-THP path is unavailable (mappings vetoed by
+	// their owner), the kernel-side demotion cursor must still find and
+	// split huge mappings. Simulate by exhausting movable candidates:
+	// map everything huge, then force a 4K allocation.
+	cfg := DefaultConfig()
+	cfg.KhugepagedEnabled = false
+	k, space, mem := newKernel(t, cfg)
+	v := space.Mmap("a", 2*uint64(mem.TotalPages())*memsys.PageSize)
+	r := 0
+	for mem.FreeHugeBlocks() > 0 {
+		fault(t, k, space, v, r*vm.RegionPages)
+		r++
+	}
+	// All memory is huge-mapped; the next fault must make progress via
+	// splitting (either reclaim path), not OOM.
+	fault(t, k, space, v, r*vm.RegionPages)
+	if _, _, ok := space.Translate(v.PageVA(r * vm.RegionPages)); !ok {
+		t.Fatal("fault under total huge occupancy did not map")
+	}
+}
+
+func TestPromoteRegionCompactsWhenFragmented(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KhugepagedInterval = 1
+	cfg.KhugepagedRegionsPerScan = 4
+	k, space, mem := newKernel(t, cfg)
+	// Fill the region's pages as 4K despite eligibility by exhausting
+	// contiguity first (movable litter), then khugepaged must compact
+	// its way to a promotion.
+	total := memsys.Frame(mem.TotalPages())
+	for f := memsys.Frame(0); f < total; f += memsys.HugePages {
+		if !mem.AllocAt(f+1, 0, memsys.Pinned, nil, 0) {
+			t.Fatal("setup failed")
+		}
+	}
+	v := space.Mmap("a", memsys.HugeSize)
+	for p := 0; p < vm.RegionPages; p++ {
+		fault(t, k, space, v, p)
+	}
+	if v.HugeMapped(0) {
+		t.Fatal("setup: fault-time huge unexpectedly succeeded")
+	}
+	k.Tick(10)
+	if !v.HugeMapped(0) {
+		t.Fatal("khugepaged did not compact+promote")
+	}
+	if k.Stats().Promotions != 1 {
+		t.Fatalf("stats: %+v", k.Stats())
+	}
+}

@@ -1,0 +1,180 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphmem/internal/gen"
+	"graphmem/internal/graph"
+	"graphmem/internal/memsys"
+	"graphmem/internal/reorder"
+)
+
+// hubGraph builds a graph where all edges point at vertices inside one
+// chosen property region, so heat is perfectly concentrated.
+func hubGraph(t *testing.T, n int, hotRegion int, entryBytes uint64) *graph.Graph {
+	t.Helper()
+	perRegion := int(memsys.HugeSize / entryBytes)
+	base := hotRegion * perRegion
+	var edges []graph.Edge
+	for i := 0; i < 4*n/perRegion+64; i++ {
+		edges = append(edges, graph.Edge{
+			Src: uint32(i % n),
+			Dst: uint32(base + i%perRegion),
+		})
+	}
+	g, err := graph.FromEdges(n, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewAccounting(t *testing.T) {
+	g := gen.Generate(gen.Wiki, gen.ScaleTest, false)
+	p := New(g, 8)
+	var sum uint64
+	for _, h := range p.Heat {
+		sum += h
+	}
+	if sum != uint64(g.NumEdges()) {
+		t.Fatalf("heat sum %d != edges %d", sum, g.NumEdges())
+	}
+	if p.TotalAccesses != sum {
+		t.Fatal("TotalAccesses inconsistent")
+	}
+	wantRegions := (uint64(g.N)*8 + memsys.HugeSize - 1) / memsys.HugeSize
+	if p.Regions != int(wantRegions) {
+		t.Fatalf("regions = %d, want %d", p.Regions, wantRegions)
+	}
+}
+
+func TestHottestOrdering(t *testing.T) {
+	const n = 1 << 20 // 4 regions at 8B entries
+	g := hubGraph(t, n, 2, 8)
+	p := New(g, 8)
+	hot := p.Hottest()
+	if hot[0].Region != 2 {
+		t.Fatalf("hottest region = %d, want 2", hot[0].Region)
+	}
+	for i := 1; i < len(hot); i++ {
+		if hot[i].Heat > hot[i-1].Heat {
+			t.Fatal("Hottest not descending")
+		}
+	}
+}
+
+func TestPlanBudgetPicksHotRegion(t *testing.T) {
+	const n = 1 << 20
+	g := hubGraph(t, n, 3, 8)
+	p := New(g, 8)
+	plan := p.PlanBudget(memsys.HugeSize) // budget: exactly one huge page
+	if len(plan.Regions) != 1 || plan.Regions[0] != 3 {
+		t.Fatalf("plan = %+v, want region 3", plan)
+	}
+	if plan.Coverage < 0.999 {
+		t.Fatalf("coverage = %v, want ~1 (all heat in one region)", plan.Coverage)
+	}
+}
+
+func TestPlanBudgetLimits(t *testing.T) {
+	g := gen.Generate(gen.Wiki, gen.ScaleTest, false)
+	p := New(g, 8)
+	if got := p.PlanBudget(0); len(got.Regions) != 0 {
+		t.Fatal("zero budget produced a plan")
+	}
+	all := p.PlanBudget(1 << 40)
+	if len(all.Regions) != p.Regions {
+		t.Fatalf("unbounded budget selected %d/%d regions", len(all.Regions), p.Regions)
+	}
+	if math.Abs(all.Coverage-1) > 1e-9 {
+		t.Fatalf("full plan coverage = %v", all.Coverage)
+	}
+}
+
+func TestPlanCoverage(t *testing.T) {
+	const n = 1 << 21 // 8 regions
+	g := gen.PowerLaw(gen.PowerLawConfig{
+		N: n, AvgDegree: 4, Alpha: 0.9, HubsClustered: true, Seed: 1,
+	})
+	p := New(g, 8)
+	half := p.PlanCoverage(0.5)
+	if half.Coverage < 0.5 {
+		t.Fatalf("coverage plan under target: %v", half.Coverage)
+	}
+	full := p.PlanCoverage(1)
+	if len(full.Regions) < len(half.Regions) {
+		t.Fatal("higher coverage selected fewer regions")
+	}
+	// Clustered hubs: half the accesses must need only a small minority
+	// of regions.
+	if len(half.Regions) > p.Regions/2 {
+		t.Fatalf("half coverage needed %d/%d regions despite clustering",
+			len(half.Regions), p.Regions)
+	}
+}
+
+func TestPrefixCurveMonotone(t *testing.T) {
+	g := gen.Generate(gen.Kron25, gen.ScaleTest, false)
+	p := New(g, 8)
+	curve := p.PrefixCurve()
+	prev := 0.0
+	for i, c := range curve {
+		if c < prev-1e-12 {
+			t.Fatalf("curve not monotone at %d", i)
+		}
+		prev = c
+	}
+	if math.Abs(curve[len(curve)-1]-1) > 1e-9 {
+		t.Fatalf("curve end = %v, want 1", curve[len(curve)-1])
+	}
+}
+
+func TestDBGSteepensPrefixCurve(t *testing.T) {
+	g := gen.Generate(gen.Kron25, gen.ScaleBench, false)
+	dbg, _ := reorder.Apply(g, reorder.DBG, 0)
+	orig := New(g, 8).PrefixCurve()
+	sorted := New(dbg, 8).PrefixCurve()
+	if len(orig) < 2 {
+		t.Skip("graph too small for multiple regions")
+	}
+	if sorted[0] <= orig[0] {
+		t.Fatalf("DBG did not steepen the curve: %v vs %v", sorted[0], orig[0])
+	}
+}
+
+func TestGini(t *testing.T) {
+	const n = 1 << 21
+	uniform := gen.Uniform(n, 4, false, 0, 3)
+	skewed := hubGraph(t, n, 0, 8)
+	gu := New(uniform, 8).Gini()
+	gs := New(skewed, 8).Gini()
+	if gu < 0 || gu > 1 || gs < 0 || gs > 1 {
+		t.Fatalf("gini out of range: %v %v", gu, gs)
+	}
+	if gs <= gu {
+		t.Fatalf("skewed gini %v not above uniform %v", gs, gu)
+	}
+}
+
+// TestQuickPlanSubsetInvariants: any budget plan is a subset of regions,
+// sorted, deduplicated, with coverage in [0,1].
+func TestQuickPlanSubsetInvariants(t *testing.T) {
+	g := gen.Generate(gen.Twit, gen.ScaleTest, false)
+	p := New(g, 8)
+	f := func(budgetMB uint8) bool {
+		plan := p.PlanBudget(uint64(budgetMB) << 20)
+		last := -1
+		for _, r := range plan.Regions {
+			if r <= last || r >= p.Regions {
+				return false
+			}
+			last = r
+		}
+		return plan.Coverage >= 0 && plan.Coverage <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

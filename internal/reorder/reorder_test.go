@@ -1,0 +1,224 @@
+package reorder
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"graphmem/internal/gen"
+	"graphmem/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return gen.Generate(gen.Kron25, gen.ScaleTest, false)
+}
+
+func isBijection(perm []uint32) bool {
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if int(p) >= len(perm) || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+func TestIdentity(t *testing.T) {
+	g := testGraph(t)
+	perm, c := Compute(g, Identity, 0)
+	for i, p := range perm {
+		if int(p) != i {
+			t.Fatal("identity permutation is not identity")
+		}
+	}
+	if c.VertexTraversals != 0 || c.EdgeTraversals != 0 {
+		t.Fatal("identity charged preprocessing cost")
+	}
+}
+
+func TestAllMethodsAreBijections(t *testing.T) {
+	g := testGraph(t)
+	for _, m := range []Method{Identity, DBG, FullSort, Random} {
+		perm, _ := Compute(g, m, 42)
+		if !isBijection(perm) {
+			t.Fatalf("%s: not a bijection", m)
+		}
+	}
+}
+
+func TestDBGBinsAreDegreeOrdered(t *testing.T) {
+	g := testGraph(t)
+	perm, c := Compute(g, DBG, 0)
+	if c.EdgeTraversals == 0 || c.VertexTraversals == 0 {
+		t.Fatal("DBG reported no traversal cost")
+	}
+	in := g.InDegrees()
+	d := g.AvgDegree()
+
+	// Reconstruct each vertex's bin and check that new IDs are grouped
+	// by bin: every vertex in a hotter bin precedes every vertex in a
+	// colder bin.
+	binOf := func(deg uint32) int {
+		for i, f := range DBGBinFactors {
+			th := uint32(f * d)
+			if deg >= th && (th > 0 || i == len(DBGBinFactors)-1) {
+				return i
+			}
+		}
+		return len(DBGBinFactors) - 1
+	}
+	maxNew := make([]int, len(DBGBinFactors))
+	minNew := make([]int, len(DBGBinFactors))
+	for i := range minNew {
+		minNew[i] = g.N
+		maxNew[i] = -1
+	}
+	for v := 0; v < g.N; v++ {
+		b := binOf(in[v])
+		if int(perm[v]) < minNew[b] {
+			minNew[b] = int(perm[v])
+		}
+		if int(perm[v]) > maxNew[b] {
+			maxNew[b] = int(perm[v])
+		}
+	}
+	last := -1
+	for b := range DBGBinFactors {
+		if maxNew[b] == -1 {
+			continue // empty bin
+		}
+		if minNew[b] <= last {
+			t.Fatalf("bin %d overlaps with a hotter bin", b)
+		}
+		last = maxNew[b]
+	}
+}
+
+func TestDBGStableWithinBin(t *testing.T) {
+	// A graph where all vertices land in the same bin: the permutation
+	// must preserve their order (stability).
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0},
+	}
+	g, err := graph.FromEdges(4, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, _ := Compute(g, DBG, 0)
+	for i, p := range perm {
+		if int(p) != i {
+			t.Fatalf("uniform-degree DBG not stable: %v", perm)
+		}
+	}
+}
+
+func TestFullSortDescending(t *testing.T) {
+	g := testGraph(t)
+	perm, _ := Compute(g, FullSort, 0)
+	in := g.InDegrees()
+	byNew := make([]uint32, g.N)
+	for v, p := range perm {
+		byNew[p] = in[v]
+	}
+	for i := 1; i < len(byNew); i++ {
+		if byNew[i] > byNew[i-1] {
+			t.Fatalf("degrees not descending at %d: %d > %d", i, byNew[i], byNew[i-1])
+		}
+	}
+}
+
+func TestHotPrefixCoverageImproves(t *testing.T) {
+	g := testGraph(t) // Kronecker: hubs scattered
+	before := HotPrefixCoverage(g, 0.1)
+	dbg, _ := Apply(g, DBG, 0)
+	after := HotPrefixCoverage(dbg, 0.1)
+	if after <= before {
+		t.Fatalf("DBG did not concentrate hot data: %.3f -> %.3f", before, after)
+	}
+	sorted, _ := Apply(g, FullSort, 0)
+	best := HotPrefixCoverage(sorted, 0.1)
+	if best < after-0.02 {
+		t.Fatalf("full sort (%.3f) worse than DBG (%.3f)", best, after)
+	}
+}
+
+func TestHotPrefixCoverageBounds(t *testing.T) {
+	g := testGraph(t)
+	if HotPrefixCoverage(g, 0) != 0 || HotPrefixCoverage(g, 1) != 1 {
+		t.Fatal("coverage bounds wrong")
+	}
+	if HotPrefixCoverage(g, 2) != 1 || HotPrefixCoverage(g, -1) != 0 {
+		t.Fatal("coverage clamping wrong")
+	}
+}
+
+func TestApplyPreservesAlgorithmicStructure(t *testing.T) {
+	g := testGraph(t)
+	ng, c := Apply(g, DBG, 0)
+	if err := ng.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ng.NumEdges() != g.NumEdges() || ng.N != g.N {
+		t.Fatal("Apply changed graph size")
+	}
+	if c.EdgeTraversals < g.NumEdges() {
+		t.Fatal("Apply did not account for the relabel traversal")
+	}
+	// Degree multiset must be preserved.
+	degCount := func(g *graph.Graph) map[int]int {
+		m := make(map[int]int)
+		for v := 0; v < g.N; v++ {
+			m[g.OutDegree(uint32(v))]++
+		}
+		return m
+	}
+	if !reflect.DeepEqual(degCount(g), degCount(ng)) {
+		t.Fatal("degree multiset changed")
+	}
+}
+
+func TestRandomSeedVariation(t *testing.T) {
+	g := testGraph(t)
+	a, _ := Compute(g, Random, 1)
+	b, _ := Compute(g, Random, 2)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds gave identical random permutations")
+	}
+	c, _ := Compute(g, Random, 1)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("same seed gave different random permutations")
+	}
+}
+
+func TestUnknownMethodPanics(t *testing.T) {
+	g := testGraph(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown method did not panic")
+		}
+	}()
+	Compute(g, Method("nope"), 0)
+}
+
+// TestQuickDBGPermutationValid: DBG yields a bijection on arbitrary
+// small graphs.
+func TestQuickDBGPermutationValid(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 64
+		var edges []graph.Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{Src: uint32(raw[i]) % n, Dst: uint32(raw[i+1]) % n})
+		}
+		g, err := graph.FromEdges(n, edges, false)
+		if err != nil {
+			return false
+		}
+		perm, _ := Compute(g, DBG, 0)
+		return isBijection(perm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

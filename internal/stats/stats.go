@@ -1,0 +1,163 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment harness uses to turn run results into the paper's tables:
+// speedup ratios, geometric means, and aligned text/CSV/markdown tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Speedup returns base/x — how many times faster x is than base when
+// both are cycle (or time) counts.
+func Speedup(base, x uint64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return float64(base) / float64(x)
+}
+
+// Geomean returns the geometric mean of xs (0 for empty or non-positive
+// input, which would otherwise be undefined).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// MinMax returns the extrema of xs.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// F formats a float with the given precision, trimming to a compact
+// representation for tables.
+func F(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// Pct formats a ratio in [0,1] as a percentage.
+func Pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+// MB formats a byte count in mebibytes.
+func MB(b uint64) string {
+	return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+}
+
+// Table is a simple titled grid that renders as aligned text, CSV, or
+// GitHub-flavoured markdown.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		w[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// String renders the table as aligned monospaced text.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	w := t.widths()
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", w[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n*%s*\n", t.Note)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no escaping beyond
+// what the harness's plain-identifier cells need).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ",") + "\n")
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ",") + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,25 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"graphmem/internal/trace"
+)
+
+// ExampleReuseDistances shows how reuse distances predict TLB behaviour:
+// a cyclic scan over 4 pages hits in any LRU structure with ≥4 entries
+// and thrashes completely below that.
+func ExampleReuseDistances() {
+	var events []trace.Event
+	for rep := 0; rep < 3; rep++ {
+		for page := uint64(0); page < 4; page++ {
+			events = append(events, trace.Event{VA: page << 12})
+		}
+	}
+	h := trace.ReuseDistances(events, 12)
+	fmt.Printf("miss rate with 4 TLB entries: %.2f\n", h.MissRate(4))
+	fmt.Printf("miss rate with 3 TLB entries: %.2f\n", h.MissRate(3))
+	// Output:
+	// miss rate with 4 TLB entries: 0.33
+	// miss rate with 3 TLB entries: 1.00
+}

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{{0x1000, 1}, {0x2fff, 2}, {0xdeadbeef000, 255}}
+	for _, e := range events {
+		w.Trace(e.VA, e.Tag)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != 3 {
+		t.Fatalf("events = %d", w.Events())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	if err := r.ForEach(func(e Event) { got = append(got, e) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events", len(got))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Trace(1, 1)
+	w.Close()
+	truncated := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(truncated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatal("truncated event not detected")
+	}
+}
+
+// evs builds page-granularity events from page numbers.
+func evs(pages ...uint64) []Event {
+	out := make([]Event, len(pages))
+	for i, p := range pages {
+		out[i] = Event{VA: p << 12}
+	}
+	return out
+}
+
+func TestReuseDistanceKnownSequence(t *testing.T) {
+	// Access pattern: A B C A  → A's reuse distance is 2 (B, C).
+	h := ReuseDistances(evs(1, 2, 3, 1), 12)
+	if h.Cold != 3 {
+		t.Fatalf("cold = %d", h.Cold)
+	}
+	if h.Dist[2] != 1 {
+		t.Fatalf("dist[2] = %d; histogram %v", h.Dist[2], h.Dist[:4])
+	}
+	if h.Total != 4 {
+		t.Fatalf("total = %d", h.Total)
+	}
+}
+
+func TestReuseDistanceImmediateReuse(t *testing.T) {
+	h := ReuseDistances(evs(7, 7, 7), 12)
+	if h.Cold != 1 || h.Dist[0] != 2 {
+		t.Fatalf("cold=%d dist0=%d", h.Cold, h.Dist[0])
+	}
+}
+
+func TestReuseDistanceSameDistanceTwice(t *testing.T) {
+	// A B A B: both reuses have distance 1.
+	h := ReuseDistances(evs(1, 2, 1, 2), 12)
+	if h.Dist[1] != 2 {
+		t.Fatalf("dist[1] = %d", h.Dist[1])
+	}
+}
+
+func TestMissRateSemantics(t *testing.T) {
+	// Cyclic pattern over 4 pages, repeated: distances are all 3.
+	seq := []uint64{1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4}
+	h := ReuseDistances(evs(seq...), 12)
+	// Capacity 4 holds the whole set: only cold misses.
+	if got, want := h.MissRate(4), 4.0/12; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("miss@4 = %v, want %v", got, want)
+	}
+	// Capacity 3 thrashes completely (LRU on a cyclic scan).
+	if got := h.MissRate(3); got != 1 {
+		t.Fatalf("miss@3 = %v, want 1", got)
+	}
+}
+
+func TestGranularityChangesDistances(t *testing.T) {
+	// Two 4KB pages inside one 2MB region: at 2MB granularity the
+	// second access is a reuse at distance 0, at 4KB it is cold.
+	events := []Event{{VA: 0x0}, {VA: 0x1000}}
+	h4k := ReuseDistances(events, 12)
+	h2m := ReuseDistances(events, 21)
+	if h4k.Cold != 2 {
+		t.Fatalf("4k cold = %d", h4k.Cold)
+	}
+	if h2m.Cold != 1 || h2m.Dist[0] != 1 {
+		t.Fatalf("2m: cold=%d dist0=%d", h2m.Cold, h2m.Dist[0])
+	}
+}
+
+func TestTagFilter(t *testing.T) {
+	events := []Event{{0x1000, 1}, {0x1000, 2}, {0x1000, 1}}
+	h := ReuseDistances(events, 12, 1)
+	if h.Total != 2 || h.Cold != 1 || h.Dist[0] != 1 {
+		t.Fatalf("filtered histogram wrong: %+v", h)
+	}
+}
+
+// TestQuickDistinctBlocksMatchesColdCount: cold misses equal the number
+// of unique blocks for any trace.
+func TestQuickDistinctBlocksMatchesColdCount(t *testing.T) {
+	f := func(pages []uint16) bool {
+		events := make([]Event, len(pages))
+		uniq := make(map[uint16]bool)
+		for i, p := range pages {
+			events[i] = Event{VA: uint64(p) << 12}
+			uniq[p] = true
+		}
+		h := ReuseDistances(events, 12)
+		return h.Cold == uint64(len(uniq)) && h.Total == uint64(len(events))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMissRateMonotone: larger capacity never raises the miss rate.
+func TestQuickMissRateMonotone(t *testing.T) {
+	f := func(pages []uint8) bool {
+		events := make([]Event, len(pages))
+		for i, p := range pages {
+			events[i] = Event{VA: uint64(p) << 12}
+		}
+		h := ReuseDistances(events, 12)
+		prev := 1.1
+		for _, c := range []int{1, 2, 4, 8, 16, 32, 64, 256} {
+			m := h.MissRate(c)
+			if m > prev+1e-12 {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMissRateAgreesWithDirectLRU cross-checks the Mattson histogram
+// against a brute-force fully-associative LRU simulation.
+func TestMissRateAgreesWithDirectLRU(t *testing.T) {
+	// Deterministic pseudo-random page stream.
+	state := uint64(99)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return (state >> 33) % 64
+	}
+	var pages []uint64
+	for i := 0; i < 4000; i++ {
+		pages = append(pages, next())
+	}
+	h := ReuseDistances(evs(pages...), 12)
+
+	for _, capacity := range []int{4, 16, 48} {
+		misses := 0
+		var lru []uint64 // front = most recent
+		for _, p := range pages {
+			found := -1
+			for i, q := range lru {
+				if q == p {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				misses++
+				lru = append([]uint64{p}, lru...)
+				if len(lru) > capacity {
+					lru = lru[:capacity]
+				}
+			} else {
+				lru = append(lru[:found], lru[found+1:]...)
+				lru = append([]uint64{p}, lru...)
+			}
+		}
+		want := float64(misses) / float64(len(pages))
+		got := h.MissRate(capacity)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("capacity %d: Mattson %v != direct %v", capacity, got, want)
+		}
+	}
+}
+
+func TestMissRateCapacityAboveTracked(t *testing.T) {
+	h := ReuseDistances(evs(1, 2, 1), 12)
+	// Any capacity beyond the tracked range behaves like infinity:
+	// only cold misses remain.
+	if got := h.MissRate(MaxTracked * 4); got != 2.0/3 {
+		t.Fatalf("miss at huge capacity = %v", got)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := ReuseDistances(nil, 12)
+	if h.MissRate(8) != 0 || h.Total != 0 {
+		t.Fatal("empty trace histogram not zero")
+	}
+}

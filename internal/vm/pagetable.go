@@ -1,0 +1,109 @@
+package vm
+
+import (
+	"fmt"
+
+	"graphmem/internal/memsys"
+)
+
+// Simulated page-table memory (optional fidelity mode).
+//
+// By default the machine charges a constant cost per radix level on a
+// page walk. With AddressSpace.SimPageTables enabled (before any Mmap),
+// the paging structures themselves live in simulated physical frames:
+// walks fetch entries through the data cache hierarchy (so hot PTEs are
+// cheap and cold ones cost DRAM), and page-table pages are unmovable
+// kernel allocations that consume — and fragment — physical memory,
+// exactly the §4.4 kind of non-movable litter.
+//
+// The layout mirrors x86-64 4-level paging: one PML4 page and one PDPT
+// page per address space (user VAs here live within one 512GB span),
+// one PD page per GB of VA touched by a VMA, and one PT page per 2MB
+// region of a VMA.
+
+// ensureRootTables allocates the PML4 and PDPT pages.
+func (as *AddressSpace) ensureRootTables() {
+	if as.pml4 != memsys.NoFrame {
+		return
+	}
+	as.pml4 = as.allocPTFrame("pml4")
+	as.pdpt = as.allocPTFrame("pdpt")
+}
+
+// allocPTFrame grabs one unmovable frame for paging structures.
+func (as *AddressSpace) allocPTFrame(kind string) memsys.Frame {
+	f := as.mem.Alloc(0, memsys.Unmovable, nil, 0)
+	if f == memsys.NoFrame {
+		panic(fmt.Sprintf("vm: out of memory allocating %s page table page", kind))
+	}
+	as.PageTableBytes += memsys.PageSize
+	return f
+}
+
+// ensurePD returns the PD frame covering the GB containing va.
+func (as *AddressSpace) ensurePD(va uint64) memsys.Frame {
+	gb := va >> 30
+	if f, ok := as.pds[gb]; ok {
+		return f
+	}
+	f := as.allocPTFrame("pd")
+	as.pds[gb] = f
+	return f
+}
+
+// setupVMATables eagerly allocates the paging structures spanning a new
+// VMA: its PT page per region plus the PD pages for its GB span. Eager
+// allocation matches the simulator's "all data is mmapped before
+// interference peaks" workloads and keeps fault paths allocation-free.
+func (as *AddressSpace) setupVMATables(v *VMA) {
+	if !as.SimPageTables {
+		return
+	}
+	as.ensureRootTables()
+	for gb := v.Base >> 30; gb <= (v.End()-1)>>30; gb++ {
+		as.ensurePD(gb << 30)
+	}
+	v.ptFrames = make([]memsys.Frame, v.Regions())
+	for r := range v.ptFrames {
+		v.ptFrames[r] = as.allocPTFrame("pt")
+	}
+}
+
+// teardownVMATables releases a VMA's PT pages (PD/PDPT/PML4 pages stay,
+// as they do in a real kernel).
+func (as *AddressSpace) teardownVMATables(v *VMA) {
+	for _, f := range v.ptFrames {
+		if f != memsys.NoFrame {
+			as.mem.Free(f, 0)
+			as.PageTableBytes -= memsys.PageSize
+		}
+	}
+	v.ptFrames = nil
+}
+
+// WalkEntryAddrs returns the physical addresses of the paging-structure
+// entries a hardware walk for va reads, deepest level first (PTE or
+// PDE, then up to the PML4E). Valid only when SimPageTables is enabled
+// and va is inside a VMA. n is 4 for 4KB mappings, 3 for 2MB.
+func (as *AddressSpace) WalkEntryAddrs(va uint64, size PageSizeClass) (addrs [4]uint64, n int) {
+	v := as.FindVMA(va)
+	if v == nil || v.ptFrames == nil && size == Page4K {
+		panic("vm: WalkEntryAddrs without simulated page tables")
+	}
+	idx := func(f memsys.Frame, shift uint) uint64 {
+		return uint64(f)<<memsys.PageShift + ((va>>shift)&511)*8
+	}
+	pd := as.pds[va>>30]
+	if size == Page2M {
+		addrs[0] = idx(pd, 21)
+		addrs[1] = idx(as.pdpt, 30)
+		addrs[2] = idx(as.pml4, 39)
+		return addrs, 3
+	}
+	r := int((va - v.Base) >> 21)
+	addrs[0] = idx(v.ptFrames[r], 12)
+	addrs[1] = idx(pd, 21)
+	addrs[2] = idx(as.pdpt, 30)
+	addrs[3] = idx(as.pml4, 39)
+	return addrs, 4
+}

@@ -1,0 +1,489 @@
+// Package vm models a process's virtual address space: VMAs created by
+// mmap, per-page and per-huge-region mappings into simulated physical
+// memory, madvise-based huge page advice, and the bookkeeping needed to
+// stay coherent when the physical layer compacts or reclaims frames.
+//
+// Policy (when to use a huge page, what to do on a fault) lives in
+// package oskernel; this package is mechanism only.
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"graphmem/internal/memsys"
+)
+
+// RegionPages is the number of base pages per huge-page region (512).
+const RegionPages = memsys.HugePages
+
+// Advice is the huge page advice attached to a 2MB-aligned region of a
+// VMA, mirroring madvise(2).
+type Advice uint8
+
+const (
+	// AdviceDefault leaves the decision to the system-wide THP mode.
+	AdviceDefault Advice = iota
+	// AdviceHuge marks the region MADV_HUGEPAGE.
+	AdviceHuge
+	// AdviceNoHuge marks the region MADV_NOHUGEPAGE.
+	AdviceNoHuge
+)
+
+// PageSizeClass identifies the translation granularity of a mapping.
+type PageSizeClass uint8
+
+const (
+	Page4K PageSizeClass = iota
+	Page2M
+)
+
+// Bytes returns the page size in bytes.
+func (c PageSizeClass) Bytes() uint64 {
+	if c == Page2M {
+		return memsys.HugeSize
+	}
+	return memsys.PageSize
+}
+
+func (c PageSizeClass) String() string {
+	if c == Page2M {
+		return "2M"
+	}
+	return "4K"
+}
+
+// VMA is one mmap'd region. All fields are managed by AddressSpace.
+type VMA struct {
+	Name  string
+	Base  uint64 // virtual base, always 2MB aligned
+	Bytes uint64 // requested length in bytes
+	Pages int    // length rounded up to whole 4KB pages
+
+	// StatsTag is an opaque client label (the machine layer indexes
+	// per-array counters with it). -1 means untracked.
+	StatsTag int
+
+	id     uint32
+	space  *AddressSpace
+	advice []Advice       // per region
+	base   []memsys.Frame // per page; NoFrame when not 4K-mapped
+	huge   []memsys.Frame // per region; NoFrame when not huge-mapped
+	swap   []bool         // per page: contents are on the swap device
+
+	// present4k[r] counts 4K-mapped pages in region r, maintained so
+	// khugepaged's scan is O(regions) instead of O(pages).
+	present4k []uint16
+
+	// ptFrames holds the leaf page-table page per region when the
+	// address space simulates page-table memory.
+	ptFrames []memsys.Frame
+
+	// Heat counts accesses per region, maintained by the machine layer
+	// on every access. Heat-guided promotion policies (HawkEye-style)
+	// read it; the plain Linux policy ignores it.
+	Heat []uint64
+
+	dead bool
+}
+
+// Regions returns the number of 2MB regions spanned by the VMA
+// (including a trailing partial region, which is never huge-eligible).
+func (v *VMA) Regions() int { return (v.Pages + RegionPages - 1) / RegionPages }
+
+// FullRegions returns the number of complete 2MB regions, i.e. the
+// huge-page-eligible span.
+func (v *VMA) FullRegions() int { return v.Pages / RegionPages }
+
+// End returns the first virtual address past the VMA.
+func (v *VMA) End() uint64 { return v.Base + uint64(v.Pages)*memsys.PageSize }
+
+// Madvise applies huge page advice to [offset, offset+length) within the
+// VMA. Offsets are rounded outward to region boundaries, as the kernel
+// does for MADV_HUGEPAGE eligibility.
+func (v *VMA) Madvise(offset, length uint64, adv Advice) {
+	if length == 0 {
+		return
+	}
+	first := int(offset / memsys.HugeSize)
+	last := int((offset + length - 1) / memsys.HugeSize)
+	for r := first; r <= last && r < len(v.advice); r++ {
+		v.advice[r] = adv
+	}
+}
+
+// AdviceAt returns the advice for region r.
+func (v *VMA) AdviceAt(r int) Advice { return v.advice[r] }
+
+// HugeMapped reports whether region r is backed by a huge page.
+func (v *VMA) HugeMapped(r int) bool { return v.huge[r] != memsys.NoFrame }
+
+// Present4KInRegion returns how many base pages of region r are mapped.
+func (v *VMA) Present4KInRegion(r int) int { return int(v.present4k[r]) }
+
+// MappedBytes returns the number of bytes currently backed by physical
+// memory, and the subset backed by huge pages.
+func (v *VMA) MappedBytes() (total, huge uint64) {
+	for r := range v.huge {
+		if v.huge[r] != memsys.NoFrame {
+			huge += memsys.HugeSize
+		}
+	}
+	total = huge
+	for _, c := range v.present4k {
+		total += uint64(c) * memsys.PageSize
+	}
+	return total, huge
+}
+
+// PageVA returns the virtual address of page index p.
+func (v *VMA) PageVA(p int) uint64 { return v.Base + uint64(p)*memsys.PageSize }
+
+// cookie encoding for memsys owner callbacks: vma id in the high 31
+// bits below the huge flag, page-or-region index in the low 32.
+const cookieHuge = uint64(1) << 63
+
+func (v *VMA) pageCookie(p int) uint64 {
+	return uint64(v.id)<<32 | uint64(uint32(p))
+}
+
+func (v *VMA) regionCookie(r int) uint64 {
+	return cookieHuge | uint64(v.id)<<32 | uint64(uint32(r))
+}
+
+// Translation is the result of a successful page table lookup.
+type Translation struct {
+	Frame memsys.Frame // frame of the 4K page, or first frame of the huge page
+	Size  PageSizeClass
+	// BaseVA is the virtual address of the start of the translated
+	// page (4KB- or 2MB-aligned), used for TLB tag insertion.
+	BaseVA uint64
+	// VMA is the region containing the address, returned so callers
+	// can attribute statistics without a second lookup.
+	VMA *VMA
+}
+
+// FaultInfo describes a page fault: the VMA and page index touched, and
+// whether the page's contents are on swap.
+type FaultInfo struct {
+	VMA     *VMA
+	Page    int // page index within the VMA
+	Swapped bool
+}
+
+// ShootdownFunc is invoked whenever a virtual→physical mapping changes
+// or disappears, so TLBs can invalidate. va is page-aligned for the
+// given size class.
+type ShootdownFunc func(va uint64, size PageSizeClass)
+
+// AddressSpace is one simulated process address space.
+type AddressSpace struct {
+	mem  *memsys.Memory
+	vmas []*VMA // sorted by Base, excluding dead
+	byID map[uint32]*VMA
+
+	nextBase uint64
+	nextID   uint32
+
+	// Shootdown, if set, is called on every unmap/remap event.
+	Shootdown ShootdownFunc
+
+	// SimPageTables turns on simulated page-table memory (see
+	// pagetable.go). Must be set before the first Mmap.
+	SimPageTables bool
+
+	// PageTableBytes is the current paging-structure footprint when
+	// SimPageTables is on.
+	PageTableBytes uint64
+
+	pml4 memsys.Frame
+	pdpt memsys.Frame
+	pds  map[uint64]memsys.Frame
+
+	// SwappedOut counts pages currently on the swap device.
+	SwappedOut uint64
+
+	// ReclaimDemotions counts huge mappings split by reclaim pressure
+	// (the split-THP path of FrameReclaimed).
+	ReclaimDemotions uint64
+
+	lastVMA *VMA // single-entry VMA lookup cache
+}
+
+// NewAddressSpace creates an empty address space backed by mem.
+func NewAddressSpace(mem *memsys.Memory) *AddressSpace {
+	return &AddressSpace{
+		mem:      mem,
+		byID:     make(map[uint32]*VMA),
+		nextBase: 0x0000_2000_0000, // arbitrary user-space base, 2MB aligned
+		nextID:   1,
+		pml4:     memsys.NoFrame,
+		pdpt:     memsys.NoFrame,
+		pds:      make(map[uint64]memsys.Frame),
+	}
+}
+
+// Mem exposes the backing physical memory (for policy layers).
+func (as *AddressSpace) Mem() *memsys.Memory { return as.mem }
+
+// Mmap creates a new anonymous VMA of the given size. The mapping is
+// demand-paged: no physical memory is allocated until pages fault in.
+func (as *AddressSpace) Mmap(name string, bytes uint64) *VMA {
+	if bytes == 0 {
+		panic("vm: zero-length mmap")
+	}
+	pages := int((bytes + memsys.PageSize - 1) / memsys.PageSize)
+	regions := (pages + RegionPages - 1) / RegionPages
+	v := &VMA{
+		Name:      name,
+		Base:      as.nextBase,
+		Bytes:     bytes,
+		Pages:     pages,
+		StatsTag:  -1,
+		id:        as.nextID,
+		space:     as,
+		advice:    make([]Advice, regions),
+		base:      make([]memsys.Frame, pages),
+		huge:      make([]memsys.Frame, regions),
+		swap:      make([]bool, pages),
+		present4k: make([]uint16, regions),
+		Heat:      make([]uint64, regions),
+	}
+	for i := range v.base {
+		v.base[i] = memsys.NoFrame
+	}
+	for i := range v.huge {
+		v.huge[i] = memsys.NoFrame
+	}
+	as.nextID++
+	// Leave a guard gap and keep every VMA 2MB aligned.
+	span := (uint64(regions) + 1) * memsys.HugeSize
+	as.nextBase += span
+	as.vmas = append(as.vmas, v)
+	as.byID[v.id] = v
+	as.setupVMATables(v)
+	return v
+}
+
+// Munmap destroys a VMA, freeing all backing frames.
+func (as *AddressSpace) Munmap(v *VMA) {
+	if v.dead {
+		panic("vm: munmap of dead VMA")
+	}
+	for r, hf := range v.huge {
+		if hf != memsys.NoFrame {
+			as.mem.Free(hf, memsys.HugeOrder)
+			v.huge[r] = memsys.NoFrame
+			as.shoot(v.Base+uint64(r)*memsys.HugeSize, Page2M)
+		}
+	}
+	for p, f := range v.base {
+		if f != memsys.NoFrame {
+			as.mem.Free(f, 0)
+			v.base[p] = memsys.NoFrame
+			as.shoot(v.PageVA(p), Page4K)
+		}
+		if v.swap[p] {
+			v.swap[p] = false
+			as.SwappedOut--
+		}
+	}
+	for r := range v.present4k {
+		v.present4k[r] = 0
+	}
+	as.teardownVMATables(v)
+	v.dead = true
+	delete(as.byID, v.id)
+	for i, u := range as.vmas {
+		if u == v {
+			as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
+			break
+		}
+	}
+	if as.lastVMA == v {
+		as.lastVMA = nil
+	}
+}
+
+func (as *AddressSpace) shoot(va uint64, size PageSizeClass) {
+	if as.Shootdown != nil {
+		as.Shootdown(va, size)
+	}
+}
+
+// FindVMA returns the VMA containing va, or nil.
+func (as *AddressSpace) FindVMA(va uint64) *VMA {
+	if v := as.lastVMA; v != nil && va >= v.Base && va < v.End() {
+		return v
+	}
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End() > va })
+	if i < len(as.vmas) && va >= as.vmas[i].Base {
+		as.lastVMA = as.vmas[i]
+		return as.vmas[i]
+	}
+	return nil
+}
+
+// VMAs returns the live VMAs in address order (shared slice; do not
+// mutate).
+func (as *AddressSpace) VMAs() []*VMA { return as.vmas }
+
+// Translate walks the page table for va. ok=false with a non-nil fault
+// means the page is unmapped or swapped (a fault must be handled);
+// ok=false with nil fault means va is not in any VMA (a segfault, which
+// the simulator treats as a programming error).
+func (as *AddressSpace) Translate(va uint64) (Translation, *FaultInfo, bool) {
+	v := as.FindVMA(va)
+	if v == nil {
+		return Translation{}, nil, false
+	}
+	p := int((va - v.Base) / memsys.PageSize)
+	r := p / RegionPages
+	if hf := v.huge[r]; hf != memsys.NoFrame {
+		return Translation{
+			Frame:  hf,
+			Size:   Page2M,
+			BaseVA: v.Base + uint64(r)*memsys.HugeSize,
+			VMA:    v,
+		}, nil, true
+	}
+	if f := v.base[p]; f != memsys.NoFrame {
+		return Translation{Frame: f, Size: Page4K, BaseVA: v.PageVA(p), VMA: v}, nil, true
+	}
+	return Translation{}, &FaultInfo{VMA: v, Page: p, Swapped: v.swap[p]}, false
+}
+
+// --- mapping mutators (used by the kernel policy layer) ---------------
+
+// MapBase installs frame f as the 4K mapping of page p in v. The frame
+// must have been allocated by the caller; ownership bookkeeping is wired
+// here.
+func (as *AddressSpace) MapBase(v *VMA, p int, f memsys.Frame) {
+	if v.base[p] != memsys.NoFrame || v.huge[p/RegionPages] != memsys.NoFrame {
+		panic(fmt.Sprintf("vm: MapBase over existing mapping %s page %d", v.Name, p))
+	}
+	if v.swap[p] {
+		v.swap[p] = false
+		as.SwappedOut--
+	}
+	v.base[p] = f
+	v.present4k[p/RegionPages]++
+	as.mem.SetOwner(f, as, v.pageCookie(p))
+}
+
+// MapHuge installs huge frame hf as the mapping of region r in v. Any
+// existing 4K mappings within the region must have been removed first.
+func (as *AddressSpace) MapHuge(v *VMA, r int, hf memsys.Frame) {
+	if v.huge[r] != memsys.NoFrame {
+		panic("vm: MapHuge over existing huge mapping")
+	}
+	if v.present4k[r] != 0 {
+		panic("vm: MapHuge with 4K pages still present in region")
+	}
+	lo, hi := r*RegionPages, (r+1)*RegionPages
+	for p := lo; p < hi && p < v.Pages; p++ {
+		if v.swap[p] {
+			v.swap[p] = false
+			as.SwappedOut--
+		}
+	}
+	v.huge[r] = hf
+	as.mem.SetOwner(hf, as, v.regionCookie(r))
+}
+
+// UnmapBase removes the 4K mapping of page p, returning the frame to the
+// caller (NOT freed). Used by promotion.
+func (as *AddressSpace) UnmapBase(v *VMA, p int) memsys.Frame {
+	f := v.base[p]
+	if f == memsys.NoFrame {
+		panic("vm: UnmapBase of unmapped page")
+	}
+	v.base[p] = memsys.NoFrame
+	v.present4k[p/RegionPages]--
+	as.shoot(v.PageVA(p), Page4K)
+	return f
+}
+
+// DemoteHuge splits the huge mapping of region r into 512 base-page
+// mappings over the same frames. The physical block is marked split so
+// individual pages become reclaimable/movable.
+func (as *AddressSpace) DemoteHuge(v *VMA, r int) {
+	hf := v.huge[r]
+	if hf == memsys.NoFrame {
+		panic("vm: DemoteHuge of non-huge region")
+	}
+	v.huge[r] = memsys.NoFrame
+	as.mem.SplitAllocated(hf, memsys.HugeOrder)
+	as.shoot(v.Base+uint64(r)*memsys.HugeSize, Page2M)
+	lo := r * RegionPages
+	for i := 0; i < RegionPages; i++ {
+		p := lo + i
+		if p >= v.Pages {
+			// Tail frames beyond the VMA (possible only if the VMA
+			// length is not region-aligned, which MapHuge forbids for
+			// partial regions) — free them defensively.
+			as.mem.Free(hf+memsys.Frame(i), 0)
+			continue
+		}
+		v.base[p] = hf + memsys.Frame(i)
+		v.present4k[r]++
+		as.mem.SetOwner(hf+memsys.Frame(i), as, v.pageCookie(p))
+	}
+}
+
+// --- memsys.Owner implementation ---------------------------------------
+
+// FrameMoved redirects the mapping that used old to new (compaction).
+func (as *AddressSpace) FrameMoved(old, new memsys.Frame, cookie uint64) {
+	if cookie&cookieHuge != 0 {
+		panic("vm: compaction moved a huge page constituent")
+	}
+	v := as.byID[uint32(cookie>>32)]
+	if v == nil {
+		panic("vm: FrameMoved for unknown VMA")
+	}
+	p := int(uint32(cookie))
+	if v.base[p] != old {
+		panic("vm: FrameMoved mapping mismatch")
+	}
+	v.base[p] = new
+	as.mem.SetOwner(new, as, cookie)
+	as.shoot(v.PageVA(p), Page4K)
+}
+
+// FrameReclaimed swaps out the page that used f (reclaim). The contents
+// move to the swap device; a later access faults and swaps in. When the
+// cookie names a huge mapping, the region is demoted in place — Linux's
+// split-THP-under-reclaim — and the eviction itself is refused; the
+// freshly-split base pages become ordinary reclaim candidates.
+func (as *AddressSpace) FrameReclaimed(f memsys.Frame, cookie uint64) bool {
+	if cookie&cookieHuge != 0 {
+		v := as.byID[uint32(cookie>>32)&0x7FFFFFFF]
+		if v == nil {
+			return false
+		}
+		r := int(uint32(cookie))
+		if r >= len(v.huge) || v.huge[r] != f {
+			return false // stale
+		}
+		as.DemoteHuge(v, r)
+		as.ReclaimDemotions++
+		return false
+	}
+	v := as.byID[uint32(cookie>>32)]
+	if v == nil {
+		return false
+	}
+	p := int(uint32(cookie))
+	if v.base[p] != f {
+		return false
+	}
+	v.base[p] = memsys.NoFrame
+	v.present4k[p/RegionPages]--
+	v.swap[p] = true
+	as.SwappedOut++
+	as.shoot(v.PageVA(p), Page4K)
+	return true
+}
+
+var _ memsys.Owner = (*AddressSpace)(nil)

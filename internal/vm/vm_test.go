@@ -1,0 +1,420 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphmem/internal/memsys"
+)
+
+func newSpace(t *testing.T) (*AddressSpace, *memsys.Memory) {
+	t.Helper()
+	mem := memsys.New(64 << 20)
+	return NewAddressSpace(mem), mem
+}
+
+func TestMmapGeometry(t *testing.T) {
+	as, _ := newSpace(t)
+	v := as.Mmap("a", 3*memsys.HugeSize+5)
+	if v.Base%memsys.HugeSize != 0 {
+		t.Fatalf("VMA base %#x not 2MB aligned", v.Base)
+	}
+	if v.Pages != 3*RegionPages+1 {
+		t.Fatalf("pages = %d", v.Pages)
+	}
+	if v.Regions() != 4 || v.FullRegions() != 3 {
+		t.Fatalf("regions = %d/%d, want 4/3", v.Regions(), v.FullRegions())
+	}
+	w := as.Mmap("b", 123)
+	if w.Base < v.End() {
+		t.Fatal("VMAs overlap")
+	}
+	if got := as.FindVMA(v.Base + 42); got != v {
+		t.Fatal("FindVMA missed")
+	}
+	if got := as.FindVMA(w.End()); got != nil {
+		t.Fatal("FindVMA matched past the end")
+	}
+}
+
+func TestMmapZeroPanics(t *testing.T) {
+	as, _ := newSpace(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-length mmap did not panic")
+		}
+	}()
+	as.Mmap("z", 0)
+}
+
+func TestTranslateFaultThenMap(t *testing.T) {
+	as, mem := newSpace(t)
+	v := as.Mmap("a", memsys.HugeSize)
+	_, fault, ok := as.Translate(v.Base + 4096)
+	if ok || fault == nil {
+		t.Fatal("unmapped page did not fault")
+	}
+	if fault.VMA != v || fault.Page != 1 || fault.Swapped {
+		t.Fatalf("fault = %+v", fault)
+	}
+	f := mem.Alloc(0, memsys.Movable, nil, 0)
+	as.MapBase(v, 1, f)
+	tr, _, ok := as.Translate(v.Base + 4096 + 17)
+	if !ok {
+		t.Fatal("mapped page faulted")
+	}
+	if tr.Frame != f || tr.Size != Page4K || tr.BaseVA != v.Base+4096 || tr.VMA != v {
+		t.Fatalf("translation = %+v", tr)
+	}
+}
+
+func TestTranslateOutsideAnyVMA(t *testing.T) {
+	as, _ := newSpace(t)
+	_, fault, ok := as.Translate(0xdead)
+	if ok || fault != nil {
+		t.Fatal("expected segfault-style miss with nil fault")
+	}
+}
+
+func TestHugeMapping(t *testing.T) {
+	as, mem := newSpace(t)
+	v := as.Mmap("a", 2*memsys.HugeSize)
+	hf := mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
+	as.MapHuge(v, 1, hf)
+	va := v.Base + memsys.HugeSize + 12345
+	tr, _, ok := as.Translate(va)
+	if !ok || tr.Size != Page2M {
+		t.Fatalf("translation = %+v ok=%v", tr, ok)
+	}
+	if tr.BaseVA != v.Base+memsys.HugeSize {
+		t.Fatalf("BaseVA = %#x", tr.BaseVA)
+	}
+	total, huge := v.MappedBytes()
+	if total != memsys.HugeSize || huge != memsys.HugeSize {
+		t.Fatalf("mapped = %d/%d", total, huge)
+	}
+	if !v.HugeMapped(1) || v.HugeMapped(0) {
+		t.Fatal("HugeMapped wrong")
+	}
+}
+
+func TestMadviseRounding(t *testing.T) {
+	as, _ := newSpace(t)
+	v := as.Mmap("a", 4*memsys.HugeSize)
+	// Advise a byte range straddling regions 1 and 2: both regions
+	// must be covered (outward rounding).
+	v.Madvise(memsys.HugeSize+5, memsys.HugeSize, AdviceHuge)
+	want := []Advice{AdviceDefault, AdviceHuge, AdviceHuge, AdviceDefault}
+	for r, w := range want {
+		if v.AdviceAt(r) != w {
+			t.Fatalf("region %d advice = %v, want %v", r, v.AdviceAt(r), w)
+		}
+	}
+	v.Madvise(0, v.Bytes, AdviceNoHuge)
+	for r := 0; r < v.Regions(); r++ {
+		if v.AdviceAt(r) != AdviceNoHuge {
+			t.Fatal("full-range madvise incomplete")
+		}
+	}
+}
+
+func TestDemoteHuge(t *testing.T) {
+	as, mem := newSpace(t)
+	v := as.Mmap("a", memsys.HugeSize)
+	hf := mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
+	as.MapHuge(v, 0, hf)
+
+	var shots []uint64
+	as.Shootdown = func(va uint64, size PageSizeClass) { shots = append(shots, va) }
+	as.DemoteHuge(v, 0)
+
+	if v.HugeMapped(0) {
+		t.Fatal("still huge after demote")
+	}
+	if v.Present4KInRegion(0) != RegionPages {
+		t.Fatalf("present4k = %d", v.Present4KInRegion(0))
+	}
+	// Every page translates to its constituent frame.
+	for p := 0; p < RegionPages; p += 100 {
+		tr, _, ok := as.Translate(v.PageVA(p))
+		if !ok || tr.Size != Page4K || tr.Frame != hf+memsys.Frame(p) {
+			t.Fatalf("page %d: tr=%+v ok=%v", p, tr, ok)
+		}
+	}
+	if len(shots) == 0 {
+		t.Fatal("no shootdown on demotion")
+	}
+	// Constituents are now individually reclaimable.
+	dropped, swapped := mem.ReclaimPages(1)
+	if dropped+swapped != 1 {
+		t.Fatal("demoted constituents not reclaimable")
+	}
+}
+
+func TestUnmapBaseAndPromotePath(t *testing.T) {
+	as, mem := newSpace(t)
+	v := as.Mmap("a", memsys.HugeSize)
+	f := mem.Alloc(0, memsys.Movable, nil, 0)
+	as.MapBase(v, 3, f)
+	got := as.UnmapBase(v, 3)
+	if got != f {
+		t.Fatalf("UnmapBase returned %d, want %d", got, f)
+	}
+	if v.Present4KInRegion(0) != 0 {
+		t.Fatal("present4k not decremented")
+	}
+	if _, fault, ok := as.Translate(v.PageVA(3)); ok || fault == nil {
+		t.Fatal("page still mapped after UnmapBase")
+	}
+}
+
+func TestCompactionMovesMappingCoherently(t *testing.T) {
+	as, mem := newSpace(t)
+	v := as.Mmap("a", memsys.HugeSize)
+	var shots []uint64
+	as.Shootdown = func(va uint64, size PageSizeClass) { shots = append(shots, va) }
+
+	// Map one page per region across memory so compaction must move one.
+	f := mem.Alloc(0, memsys.Movable, nil, 0)
+	as.MapBase(v, 0, f)
+	// Poison all other regions so region 0 (holding f) is the only
+	// compaction candidate, with a destination hole in region 1.
+	total := memsys.Frame(mem.TotalPages())
+	dest := memsys.Frame(memsys.HugePages + 9)
+	for fr := memsys.Frame(memsys.HugePages); fr < total; fr++ {
+		if fr != dest {
+			mem.AllocAt(fr, 0, memsys.Unmovable, nil, 0)
+		}
+	}
+	res := mem.TryCompactHuge()
+	if !res.Succeeded {
+		t.Fatal("compaction failed")
+	}
+	tr, _, ok := as.Translate(v.Base)
+	if !ok || tr.Frame != dest {
+		t.Fatalf("mapping after move: tr=%+v ok=%v want frame %d", tr, ok, dest)
+	}
+	if len(shots) != 1 || shots[0] != v.Base {
+		t.Fatalf("shootdowns = %v", shots)
+	}
+}
+
+func TestReclaimSwapsOutAndFaultsSwapped(t *testing.T) {
+	as, mem := newSpace(t)
+	v := as.Mmap("a", memsys.HugeSize)
+	f := mem.Alloc(0, memsys.Movable, nil, 0)
+	as.MapBase(v, 0, f)
+	dropped, swapped := mem.ReclaimPages(1)
+	if dropped != 0 || swapped != 1 {
+		t.Fatalf("reclaim = (%d,%d)", dropped, swapped)
+	}
+	if as.SwappedOut != 1 {
+		t.Fatalf("SwappedOut = %d", as.SwappedOut)
+	}
+	_, fault, ok := as.Translate(v.Base)
+	if ok || fault == nil || !fault.Swapped {
+		t.Fatalf("swapped page fault = %+v ok=%v", fault, ok)
+	}
+	// Swap-in: map again clears the swap flag.
+	nf := mem.Alloc(0, memsys.Movable, nil, 0)
+	as.MapBase(v, 0, nf)
+	if as.SwappedOut != 0 {
+		t.Fatal("swap accounting not cleared on re-map")
+	}
+}
+
+func TestMunmapFreesEverything(t *testing.T) {
+	as, mem := newSpace(t)
+	freeBefore := mem.FreePages()
+	v := as.Mmap("a", 3*memsys.HugeSize)
+	hf := mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
+	as.MapHuge(v, 0, hf)
+	f := mem.Alloc(0, memsys.Movable, nil, 0)
+	as.MapBase(v, RegionPages+4, f)
+	as.Munmap(v)
+	if mem.FreePages() != freeBefore {
+		t.Fatalf("leak: free %d != %d", mem.FreePages(), freeBefore)
+	}
+	if as.FindVMA(v.Base) != nil {
+		t.Fatal("dead VMA still findable")
+	}
+	if err := mem.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapBaseOverExistingPanics(t *testing.T) {
+	as, mem := newSpace(t)
+	v := as.Mmap("a", memsys.HugeSize)
+	f1 := mem.Alloc(0, memsys.Movable, nil, 0)
+	f2 := mem.Alloc(0, memsys.Movable, nil, 0)
+	as.MapBase(v, 0, f1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double map did not panic")
+		}
+	}()
+	as.MapBase(v, 0, f2)
+}
+
+func TestMapHugeRequiresEmptyRegion(t *testing.T) {
+	as, mem := newSpace(t)
+	v := as.Mmap("a", memsys.HugeSize)
+	f := mem.Alloc(0, memsys.Movable, nil, 0)
+	as.MapBase(v, 0, f)
+	hf := mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MapHuge over 4K pages did not panic")
+		}
+	}()
+	as.MapHuge(v, 0, hf)
+}
+
+// TestQuickTranslationConsistency maps random pages and checks every
+// translation agrees with the mapping that was installed.
+func TestQuickTranslationConsistency(t *testing.T) {
+	f := func(pages []uint16) bool {
+		mem := memsys.New(64 << 20)
+		as := NewAddressSpace(mem)
+		v := as.Mmap("a", 8*memsys.HugeSize)
+		installed := make(map[int]memsys.Frame)
+		for _, p := range pages {
+			pi := int(p) % v.Pages
+			if _, dup := installed[pi]; dup {
+				continue
+			}
+			fr := mem.Alloc(0, memsys.Movable, nil, 0)
+			if fr == memsys.NoFrame {
+				break
+			}
+			as.MapBase(v, pi, fr)
+			installed[pi] = fr
+		}
+		for pi, fr := range installed {
+			tr, _, ok := as.Translate(v.PageVA(pi) + 99)
+			if !ok || tr.Frame != fr || tr.Size != Page4K {
+				return false
+			}
+		}
+		// Unmapped pages must fault.
+		for pi := 0; pi < v.Pages; pi += 37 {
+			if _, mapped := installed[pi]; mapped {
+				continue
+			}
+			if _, fault, ok := as.Translate(v.PageVA(pi)); ok || fault == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReclaimSplitsHugeMapping(t *testing.T) {
+	mem := memsys.New(64 << 20)
+	as := NewAddressSpace(mem)
+	v := as.Mmap("a", memsys.HugeSize)
+	hf := mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
+	as.MapHuge(v, 0, hf)
+	// Reclaim pressure must split the THP (Linux's deferred split) and
+	// then evict the now-ordinary base pages.
+	d, s := mem.ReclaimPages(4)
+	if as.ReclaimDemotions != 1 {
+		t.Fatalf("demotions = %d, want 1", as.ReclaimDemotions)
+	}
+	if v.HugeMapped(0) {
+		t.Fatal("region still huge after reclaim split")
+	}
+	if d+s != 4 {
+		t.Fatalf("reclaimed %d pages, want 4", d+s)
+	}
+	if as.SwappedOut != uint64(s) {
+		t.Fatalf("swap accounting: %d vs %d", as.SwappedOut, s)
+	}
+}
+
+func TestSimPageTablesAllocation(t *testing.T) {
+	mem := memsys.New(64 << 20)
+	as := NewAddressSpace(mem)
+	as.SimPageTables = true
+	before := mem.FreePages()
+	v := as.Mmap("a", 4*memsys.HugeSize)
+	// PML4 + PDPT + 1 PD + 4 PT pages = 7 pages.
+	used := before - mem.FreePages()
+	if used != 7 {
+		t.Fatalf("page tables used %d frames, want 7", used)
+	}
+	if as.PageTableBytes != 7*memsys.PageSize {
+		t.Fatalf("PageTableBytes = %d", as.PageTableBytes)
+	}
+
+	// Walk addresses: distinct per level, inside the allocated frames.
+	f := mem.Alloc(0, memsys.Movable, nil, 0)
+	as.MapBase(v, 1, f)
+	addrs, n := as.WalkEntryAddrs(v.PageVA(1), Page4K)
+	if n != 4 {
+		t.Fatalf("levels = %d", n)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		pa := addrs[i]
+		if seen[pa>>memsys.PageShift] {
+			t.Fatalf("two walk levels share a page-table page: %v", addrs)
+		}
+		seen[pa>>memsys.PageShift] = true
+		if !mem.Allocated(memsys.Frame(pa >> memsys.PageShift)) {
+			t.Fatalf("walk entry %d at %#x in unallocated frame", i, pa)
+		}
+	}
+
+	// Huge mappings walk one level less.
+	if _, n2 := as.WalkEntryAddrs(v.Base+memsys.HugeSize, Page2M); n2 != 3 {
+		t.Fatalf("2M walk levels = %d", n2)
+	}
+
+	// Adjacent pages in a region share the PT page, adjacent regions
+	// do not.
+	a0, _ := as.WalkEntryAddrs(v.PageVA(0), Page4K)
+	a1, _ := as.WalkEntryAddrs(v.PageVA(1), Page4K)
+	if a0[0]>>memsys.PageShift != a1[0]>>memsys.PageShift {
+		t.Fatal("same-region PTEs not on the same PT page")
+	}
+	b0, _ := as.WalkEntryAddrs(v.PageVA(RegionPages), Page4K)
+	if a0[0]>>memsys.PageShift == b0[0]>>memsys.PageShift {
+		t.Fatal("different regions share a PT page")
+	}
+
+	// Munmap releases PT pages and the mapped frame.
+	as.Munmap(v)
+	if err := mem.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimPageTablesMunmapReleases(t *testing.T) {
+	mem := memsys.New(64 << 20)
+	as := NewAddressSpace(mem)
+	as.SimPageTables = true
+	v := as.Mmap("a", 4*memsys.HugeSize)
+	after := mem.FreePages()
+	as.Munmap(v)
+	if got := mem.FreePages() - after; got != 4 {
+		t.Fatalf("munmap released %d PT pages, want 4", got)
+	}
+	if as.PageTableBytes != 3*memsys.PageSize {
+		t.Fatalf("PageTableBytes = %d, want roots+pd only", as.PageTableBytes)
+	}
+}
+
+func TestSimPageTablesOffByDefault(t *testing.T) {
+	mem := memsys.New(64 << 20)
+	as := NewAddressSpace(mem)
+	before := mem.FreePages()
+	as.Mmap("a", 4*memsys.HugeSize)
+	if mem.FreePages() != before {
+		t.Fatal("page tables allocated without SimPageTables")
+	}
+}
