@@ -1,0 +1,114 @@
+// Command simlint runs the project's determinism lint rules (SL001…
+// SL005, see internal/lint) over the module.
+//
+// Usage:
+//
+//	go run ./cmd/simlint ./...        # whole module (CI invocation)
+//	go run ./cmd/simlint ./internal/memsys
+//	go run ./cmd/simlint -rules       # list the rule table
+//
+// A path ending in /... is linted recursively; otherwise the single
+// package in the directory is linted. Exit status: 0 clean, 1 findings,
+// 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"graphmem/internal/lint"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "print the rule table and exit")
+	verbose := flag.Bool("v", false, "print each package as it is linted")
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.AllRules() {
+			fmt.Printf("%s %-12s %s\n", r.ID, r.Name, r.Doc)
+		}
+		return
+	}
+
+	target := "./..."
+	if flag.NArg() > 0 {
+		target = flag.Arg(0)
+	}
+	recursive := false
+	if strings.HasSuffix(target, "...") {
+		recursive = true
+		target = strings.TrimSuffix(strings.TrimSuffix(target, "..."), "/")
+		if target == "" || target == "." {
+			target = "."
+		}
+	}
+	dir, err := filepath.Abs(target)
+	if err != nil {
+		fatal(err)
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	r := lint.NewRunner(root)
+	var diags []lint.Diagnostic
+	if recursive {
+		diags, err = r.LintTree(dir)
+	} else {
+		rel, rerr := filepath.Rel(root, dir)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		importPath := lint.ModulePath
+		if rel != "." {
+			importPath = lint.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "simlint: %s\n", importPath)
+		}
+		diags, err = r.LintDir(importPath, dir)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, rerr := filepath.Rel(cwd, d.Pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("simlint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simlint:", err)
+	os.Exit(2)
+}

@@ -9,6 +9,7 @@ package analytics
 import (
 	"fmt"
 
+	"graphmem/internal/check"
 	"graphmem/internal/graph"
 	"graphmem/internal/machine"
 	"graphmem/internal/vm"
@@ -162,7 +163,7 @@ func NewImage(m *machine.Machine, g *graph.Graph, app App) (*Image, error) {
 // scarce huge pages. Init runs inside an "init" machine phase.
 func (img *Image) Init(order AllocOrder) {
 	if img.initialized {
-		panic("analytics: double Init")
+		panic(check.Failf("analytics: double Init"))
 	}
 	img.M.BeginPhase("init")
 	touch := func(v *vm.VMA) {
@@ -194,7 +195,7 @@ func (img *Image) Init(order AllocOrder) {
 //   - PR: ranks (float64)
 func (img *Image) Run(opt RunOptions) Result {
 	if !img.initialized {
-		panic("analytics: Run before Init")
+		panic(check.Failf("analytics: Run before Init"))
 	}
 	img.M.BeginPhase("kernel")
 	var res Result
@@ -214,7 +215,7 @@ func (img *Image) Run(opt RunOptions) Result {
 		}
 		res.Centrality = img.runBC(k)
 	default:
-		panic("analytics: unknown app " + string(img.App))
+		panic(check.Failf("analytics: unknown app %s", img.App))
 	}
 	return res
 }

@@ -6,7 +6,11 @@
 // headline ratios to have the right shape.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"graphmem/internal/check"
+)
 
 // LineShift is log2 of the cache line size (64B lines).
 const LineShift = 6
@@ -89,11 +93,11 @@ type level struct {
 func newLevel(c LevelConfig) *level {
 	lines := c.Bytes >> LineShift
 	if lines%c.Ways != 0 {
-		panic(fmt.Sprintf("cache: %d lines not divisible by %d ways", lines, c.Ways))
+		panic(check.Failf("cache: %d lines not divisible by %d ways", lines, c.Ways))
 	}
 	sets := lines / c.Ways
 	if sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+		panic(check.Failf("cache: set count %d not a power of two", sets))
 	}
 	return &level{
 		setsMask: uint64(sets - 1),

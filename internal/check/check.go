@@ -1,0 +1,68 @@
+// Package check is the simulator's shared assertion and runtime
+// invariant-sanitizer layer.
+//
+// Two pieces live here:
+//
+//   - Failf / Assertf: the project-wide replacement for bare panic(...)
+//     in library packages. Invariant violations construct a typed
+//     Failure via Failf and raise it with panic(check.Failf(...)), so
+//     every abort in the simulator carries a uniform, greppable value
+//     and the simlint rule SL005 can verify no untyped panics sneak in.
+//
+//   - Audit: a build-tag-gated hook (-tags simcheck) that runs an
+//     expensive structural audit (buddy allocator, TLB, address space)
+//     at policy-decision boundaries. Without the tag, Enabled is a
+//     false constant and the compiler removes the audit calls entirely,
+//     so the hot path pays nothing in normal builds.
+package check
+
+import "fmt"
+
+// Failure is the value carried by every simulator invariant panic. It
+// implements error so recovered failures can flow through error paths.
+type Failure struct {
+	msg string
+}
+
+// Error returns the failure message.
+func (f Failure) Error() string { return f.msg }
+
+// String returns the failure message.
+func (f Failure) String() string { return f.msg }
+
+// Failf constructs a Failure. It does not raise it: call sites abort
+// with panic(check.Failf(...)), which keeps the compiler's control-flow
+// analysis intact (a trailing panic still terminates the branch).
+func Failf(format string, args ...any) Failure {
+	return Failure{msg: fmt.Sprintf(format, args...)}
+}
+
+// Assertf raises a Failure when cond is false. It is always on — use it
+// for cheap preconditions whose violation means a simulator bug, not a
+// modelled condition.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(Failf(format, args...))
+	}
+}
+
+// Audit runs an invariant scan when the simcheck build tag is active
+// and raises a Failure describing the first violation. name labels the
+// audited structure in the failure message. Without the tag this is a
+// no-op and the fn closure is never invoked, so audits may capture
+// expensive state freely.
+func Audit(name string, fn func() error) {
+	if !Enabled {
+		return
+	}
+	if err := fn(); err != nil {
+		panic(Failf("simcheck: %s audit: %v", name, err))
+	}
+}
+
+// IsFailure reports whether a recovered panic value originated from
+// this package (Assertf, Audit, or a panic(check.Failf(...)) site).
+func IsFailure(v any) bool {
+	_, ok := v.(Failure)
+	return ok
+}

@@ -1,0 +1,74 @@
+package check
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAssertfTruePasses(t *testing.T) {
+	Assertf(true, "should not fire")
+}
+
+func TestAssertfFalsePanicsWithFailure(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("Assertf(false) did not panic")
+		}
+		if !IsFailure(v) {
+			t.Fatalf("panic value %T is not a check.Failure", v)
+		}
+		f := v.(Failure)
+		if f.Error() != "boom 7" {
+			t.Fatalf("message = %q, want %q", f.Error(), "boom 7")
+		}
+	}()
+	Assertf(false, "boom %d", 7)
+}
+
+func TestFailfIsAnError(t *testing.T) {
+	var err error = Failf("x %s", "y")
+	if err.Error() != "x y" {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+}
+
+func TestAuditRespectsEnabled(t *testing.T) {
+	ran := false
+	fire := func() (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				if !IsFailure(v) {
+					t.Fatalf("panic value %T is not a check.Failure", v)
+				}
+				err = v.(Failure)
+			}
+		}()
+		Audit("test", func() error {
+			ran = true
+			return errors.New("broken invariant")
+		})
+		return nil
+	}
+	err := fire()
+	if Enabled {
+		if !ran {
+			t.Fatal("simcheck build: Audit did not run its scan")
+		}
+		if err == nil {
+			t.Fatal("simcheck build: failing audit did not panic")
+		}
+	} else {
+		if ran {
+			t.Fatal("plain build: Audit ran its scan despite Enabled=false")
+		}
+		if err != nil {
+			t.Fatalf("plain build: Audit raised %v", err)
+		}
+	}
+}
+
+func TestAuditPassesCleanScan(t *testing.T) {
+	// Must not panic under either build.
+	Audit("clean", func() error { return nil })
+}

@@ -1,0 +1,7 @@
+//go:build !simcheck
+
+package check
+
+// Enabled reports whether runtime invariant audits are compiled in.
+// Without the simcheck build tag audits vanish at compile time.
+const Enabled = false

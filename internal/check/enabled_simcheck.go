@@ -1,0 +1,7 @@
+//go:build simcheck
+
+package check
+
+// Enabled reports whether runtime invariant audits are compiled in.
+// This build has the simcheck tag: Audit calls run their scans.
+const Enabled = true

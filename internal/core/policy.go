@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 
+	"graphmem/internal/check"
 	"graphmem/internal/oskernel"
 )
 
@@ -108,7 +109,7 @@ func PerStructure(structName string) Policy {
 	case "prop":
 		p.PropPercent = 1
 	default:
-		panic(fmt.Sprintf("core: unknown structure %q", structName))
+		panic(check.Failf("core: unknown structure %q", structName))
 	}
 	return p
 }
@@ -118,7 +119,7 @@ func PerStructure(structName string) Policy {
 // Pair with reorder.DBG so the hot vertices occupy that prefix.
 func SelectiveTHP(pct float64) Policy {
 	if pct <= 0 || pct > 1 {
-		panic(fmt.Sprintf("core: SelectiveTHP pct %v out of (0,1]", pct))
+		panic(check.Failf("core: SelectiveTHP pct %v out of (0,1]", pct))
 	}
 	return Policy{
 		Name:        fmt.Sprintf("sel-%d", int(pct*100+0.5)),
@@ -133,7 +134,7 @@ func SelectiveTHP(pct float64) Policy {
 // manual tuning required).
 func AutoTHP(budgetBytes uint64) Policy {
 	if budgetBytes == 0 {
-		panic("core: AutoTHP with zero budget")
+		panic(check.Failf("core: AutoTHP with zero budget"))
 	}
 	return Policy{
 		Name:            fmt.Sprintf("auto-%dM", budgetBytes>>20),
@@ -147,7 +148,7 @@ func AutoTHP(budgetBytes uint64) Policy {
 // fraction of estimated property-array accesses.
 func AutoTHPCoverage(frac float64) Policy {
 	if frac <= 0 || frac > 1 {
-		panic(fmt.Sprintf("core: AutoTHPCoverage frac %v out of (0,1]", frac))
+		panic(check.Failf("core: AutoTHPCoverage frac %v out of (0,1]", frac))
 	}
 	return Policy{
 		Name:         fmt.Sprintf("auto-cov%d", int(frac*100+0.5)),

@@ -6,6 +6,7 @@ import (
 
 	"graphmem/internal/analytics"
 	"graphmem/internal/cache"
+	"graphmem/internal/check"
 	"graphmem/internal/cost"
 	"graphmem/internal/graph"
 	"graphmem/internal/machine"
@@ -279,6 +280,8 @@ func Run(spec RunSpec) (*RunResult, error) {
 		m.AddTicker(interval, func(uint64) { ch.Step() })
 	}
 
+	auditMachine(m) // environment staged: allocator must already be consistent
+
 	img, err := analytics.NewImage(m, g, spec.App)
 	if err != nil {
 		return nil, err
@@ -300,12 +303,14 @@ func Run(spec RunSpec) (*RunResult, error) {
 	}
 
 	img.Init(spec.Order)
+	auditMachine(m) // faults, THP promotion, compaction and reclaim all ran
 
 	opts := spec.Run
 	if opts.Root == 0 && opts.PRMaxIters == 0 {
 		opts = analytics.DefaultRunOptions(g)
 	}
 	out := img.Run(opts)
+	auditMachine(m) // end of kernel: final layout must balance
 
 	phases := m.FinishPhases()
 	res := &RunResult{
@@ -342,6 +347,16 @@ func Run(spec RunSpec) (*RunResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// auditMachine runs the simcheck invariant audits over every stateful
+// simulator layer. Under the default build (check.Enabled == false) the
+// scans are skipped entirely; under -tags simcheck a violated invariant
+// panics with a check.Failure naming the broken structure.
+func auditMachine(m *machine.Machine) {
+	check.Audit("memsys", m.Mem.CheckInvariants)
+	check.Audit("vm", m.Space.CheckInvariants)
+	check.Audit("tlb", m.TLB.CheckInvariants)
 }
 
 // applyAdvice issues the policy's madvise calls on the freshly-mapped

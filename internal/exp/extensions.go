@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"graphmem/internal/analytics"
+	"graphmem/internal/check"
 	"graphmem/internal/core"
 	"graphmem/internal/gen"
 	"graphmem/internal/reorder"
@@ -133,7 +134,7 @@ func (s *Suite) GridControl() []*stats.Table {
 		}
 		r, err := core.Run(spec)
 		if err != nil {
-			panic(err)
+			panic(check.Failf("exp: %v", err))
 		}
 		return r
 	}
@@ -174,7 +175,7 @@ func (s *Suite) Fig6() []*stats.Table {
 		spec.SampleSupplyEvery = wss / 64 * 30 / 12
 		r, err := core.Run(spec)
 		if err != nil {
-			panic(err)
+			panic(check.Failf("exp: %v", err))
 		}
 		t := stats.NewTable(
 			fmt.Sprintf("Fig 6 (measured): huge page supply during init, %s order", order),

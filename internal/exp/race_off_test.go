@@ -1,0 +1,7 @@
+//go:build !race
+
+package exp
+
+// raceEnabled mirrors whether the race detector is compiled into the
+// test binary. See race_on_test.go.
+const raceEnabled = false

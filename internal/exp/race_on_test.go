@@ -1,0 +1,10 @@
+//go:build race
+
+package exp
+
+// raceEnabled mirrors whether the race detector is compiled into the
+// test binary. The full-scale shape suites run single-threaded
+// simulations for a minute-plus each; under race instrumentation they
+// overrun the per-package test timeout while exercising no concurrency,
+// so they skip themselves when this is set.
+const raceEnabled = true

@@ -28,6 +28,9 @@ func TestPaperShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration shape test")
 	}
+	if raceEnabled {
+		t.Skip("full-scale single-threaded simulation; too slow under race instrumentation")
+	}
 	s := shapeSuite()
 	const ds = gen.Kron25
 
@@ -119,6 +122,9 @@ func TestPaperShape(t *testing.T) {
 func TestShapeBaselineInsensitiveToEnvironment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration shape test")
+	}
+	if raceEnabled {
+		t.Skip("full-scale single-threaded simulation; too slow under race instrumentation")
 	}
 	s := shapeSuite()
 	const ds = gen.Wiki

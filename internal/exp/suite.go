@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"graphmem/internal/analytics"
+	"graphmem/internal/check"
 	"graphmem/internal/core"
 	"graphmem/internal/gen"
 	"graphmem/internal/graph"
@@ -137,7 +138,7 @@ func (s *Suite) run(c runCfg) *core.RunResult {
 	}
 	r, err := core.Run(spec)
 	if err != nil {
-		panic(fmt.Sprintf("exp: run %s: %v", k, err))
+		panic(check.Failf("exp: run %s: %v", k, err))
 	}
 	s.runs[k] = r
 	if s.Log != nil {

@@ -1,8 +1,7 @@
 package gen
 
 import (
-	"fmt"
-
+	"graphmem/internal/check"
 	"graphmem/internal/graph"
 )
 
@@ -96,7 +95,7 @@ func paramsFor(d Dataset, s Scale) params {
 			p.n, p.deg = 640_000, 15
 		}
 	default:
-		panic(fmt.Sprintf("gen: unknown dataset %q", d))
+		panic(check.Failf("gen: unknown dataset %q", d))
 	}
 	return p
 }

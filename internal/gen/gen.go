@@ -18,6 +18,7 @@ package gen
 import (
 	"math"
 
+	"graphmem/internal/check"
 	"graphmem/internal/graph"
 )
 
@@ -63,7 +64,7 @@ func Kronecker(scale, edgeFactor int, weighted bool, maxWeight uint32, seed uint
 	}
 	g, err := graph.FromEdges(n, edges, weighted)
 	if err != nil {
-		panic(err) // generator bug, not an input error
+		panic(check.Failf("gen: %v", err)) // generator bug, not an input error
 	}
 	return g
 }
@@ -99,7 +100,7 @@ type PowerLawConfig struct {
 func PowerLaw(cfg PowerLawConfig) *graph.Graph {
 	n := cfg.N
 	if n <= 1 {
-		panic("gen: PowerLaw needs at least two vertices")
+		panic(check.Failf("gen: PowerLaw needs at least two vertices"))
 	}
 	m := n * cfg.AvgDegree
 	r := newRNG(cfg.Seed)
@@ -176,7 +177,7 @@ func PowerLaw(cfg PowerLawConfig) *graph.Graph {
 	}
 	g, err := graph.FromEdges(n, edges, cfg.Weighted)
 	if err != nil {
-		panic(err)
+		panic(check.Failf("gen: %v", err))
 	}
 	return g
 }
@@ -196,7 +197,7 @@ func Uniform(n, avgDegree int, weighted bool, maxWeight uint32, seed uint64) *gr
 	}
 	g, err := graph.FromEdges(n, edges, weighted)
 	if err != nil {
-		panic(err)
+		panic(check.Failf("gen: %v", err))
 	}
 	return g
 }
@@ -209,7 +210,7 @@ func Uniform(n, avgDegree int, weighted bool, maxWeight uint32, seed uint64) *gr
 // than any other.
 func Grid(w, h int, weighted bool, maxWeight uint32, seed uint64) *graph.Graph {
 	if w < 2 || h < 2 {
-		panic("gen: Grid needs at least 2x2")
+		panic(check.Failf("gen: Grid needs at least 2x2"))
 	}
 	r := newRNG(seed)
 	n := w * h
@@ -241,7 +242,7 @@ func Grid(w, h int, weighted bool, maxWeight uint32, seed uint64) *graph.Graph {
 	}
 	g, err := graph.FromEdges(n, edges, weighted)
 	if err != nil {
-		panic(err)
+		panic(check.Failf("gen: %v", err))
 	}
 	return g
 }

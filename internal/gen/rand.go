@@ -1,5 +1,7 @@
 package gen
 
+import "graphmem/internal/check"
+
 // rng is a SplitMix64 pseudo-random generator: tiny, fast, and fully
 // deterministic across platforms, which the experiment harness requires
 // (math/rand would also work but carries global-state hazards).
@@ -25,7 +27,7 @@ func (r *rng) float64() float64 {
 // intn returns a uniform value in [0,n).
 func (r *rng) intn(n int) int {
 	if n <= 0 {
-		panic("gen: intn with non-positive n")
+		panic(check.Failf("gen: intn with non-positive n"))
 	}
 	return int(r.next() % uint64(n))
 }

@@ -1,0 +1,320 @@
+// Package lint implements simlint, the project's determinism linter.
+//
+// The simulator's central contract is that identical call sequences
+// produce identical physical layouts and statistics — the paper's
+// experiments are only reproducible if nothing in the simulation path
+// consults wall-clock time, global random state, or Go's randomized map
+// iteration order. simlint enforces that contract statically, plus two
+// hygiene rules (cost constants live in internal/cost; library packages
+// fail through check.Failf, never bare panic).
+//
+// Each rule is a table entry with a stable ID (SL001…SL005) so tests
+// can seed violations in testdata fixtures and assert exact
+// diagnostics, and so waivers in code review can name the rule they
+// waive. Test files are exempt from every rule: tests may time
+// themselves, seed global rand, or panic freely.
+//
+// The implementation is stdlib-only (go/parser, go/types, go/build,
+// go/importer) — no analysis framework dependency. Type information is
+// required: the rules must distinguish `time.Now` the stdlib function
+// from a local identifier that happens to be called "time", and a
+// *rand.Rand method from a math/rand package-level function.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ModulePath is the import-path root of the project this linter serves.
+const ModulePath = "graphmem"
+
+// Diagnostic is one finding, addressed by rule ID and source position.
+type Diagnostic struct {
+	Rule string
+	Pos  token.Position
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Rule is one table-driven check.
+type Rule struct {
+	ID   string
+	Name string
+	Doc  string
+
+	// Applies reports whether the rule runs on the package with the
+	// given import path. Nil means module-wide.
+	Applies func(pkgPath string) bool
+
+	Check func(p *Pass)
+}
+
+// Pass hands one type-checked package to a rule's Check.
+type Pass struct {
+	Fset  *token.FileSet
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	rule  Rule
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos under the pass's rule ID.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule: p.rule.ID,
+		Pos:  p.Fset.Position(pos),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Runner loads, type-checks and lints packages of the module rooted at
+// ModuleRoot. It caches type-checked packages, so linting the whole
+// tree type-checks each package (and each stdlib dependency) once.
+type Runner struct {
+	ModuleRoot string
+	Rules      []Rule
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*checked
+}
+
+type checked struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+// NewRunner builds a runner over the module rooted at moduleRoot (the
+// directory holding go.mod).
+func NewRunner(moduleRoot string) *Runner {
+	fset := token.NewFileSet()
+	return &Runner{
+		ModuleRoot: moduleRoot,
+		Rules:      AllRules(),
+		fset:       fset,
+		// The "source" importer type-checks stdlib dependencies from
+		// $GOROOT source — no export data or network required.
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*checked),
+	}
+}
+
+// Import implements types.Importer: module-internal paths are loaded
+// recursively from ModuleRoot; everything else (stdlib) is delegated to
+// the source importer. This chaining is what lets fixtures and real
+// packages import graphmem/internal/check during type-checking.
+func (r *Runner) Import(path string) (*types.Package, error) {
+	if path == ModulePath || strings.HasPrefix(path, ModulePath+"/") {
+		c := r.load(path, r.dirFor(path))
+		return c.pkg, c.err
+	}
+	return r.std.Import(path)
+}
+
+func (r *Runner) dirFor(importPath string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, ModulePath), "/")
+	return filepath.Join(r.ModuleRoot, filepath.FromSlash(rel))
+}
+
+// load parses and type-checks the package in dir under importPath,
+// memoizing by import path. Only non-test files selected by the default
+// build context are considered — matching what `go build` compiles, and
+// making test files exempt from every rule.
+func (r *Runner) load(importPath, dir string) *checked {
+	if c, ok := r.pkgs[importPath]; ok {
+		if c == nil {
+			return &checked{err: fmt.Errorf("lint: import cycle through %s", importPath)}
+		}
+		return c
+	}
+	r.pkgs[importPath] = nil // cycle sentinel
+	c := r.loadUncached(importPath, dir)
+	r.pkgs[importPath] = c
+	return c
+}
+
+func (r *Runner) loadUncached(importPath, dir string) *checked {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return &checked{err: fmt.Errorf("lint: %s: %v", importPath, err)}
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(r.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return &checked{err: fmt.Errorf("lint: %v", err)}
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	cfg := types.Config{
+		Importer: r,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := cfg.Check(importPath, r.fset, files, info)
+	if err == nil {
+		err = firstErr
+	}
+	if err != nil {
+		return &checked{err: fmt.Errorf("lint: typecheck %s: %v", importPath, err)}
+	}
+	return &checked{pkg: pkg, files: files, info: info}
+}
+
+// LintDir lints the package found in dir as if its import path were
+// importPath (which decides which rules apply — testdata fixtures use
+// this to impersonate internal/ packages).
+func (r *Runner) LintDir(importPath, dir string) ([]Diagnostic, error) {
+	c := r.load(importPath, dir)
+	if c.err != nil {
+		return nil, c.err
+	}
+	var diags []Diagnostic
+	for _, rule := range r.Rules {
+		if rule.Applies != nil && !rule.Applies(importPath) {
+			continue
+		}
+		p := &Pass{
+			Fset: r.fset, Path: importPath,
+			Files: c.files, Pkg: c.pkg, Info: c.info,
+			rule: rule, diags: &diags,
+		}
+		rule.Check(p)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// LintTree lints every package under root (a directory inside the
+// module), skipping testdata, vendor, and hidden directories. Hard
+// errors (unparsable or untypeable packages) are returned alongside any
+// diagnostics gathered before the failure.
+func (r *Runner) LintTree(root string) ([]Diagnostic, error) {
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(r.ModuleRoot, dir)
+		if err != nil {
+			return diags, err
+		}
+		importPath := ModulePath
+		if rel != "." {
+			importPath = ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		ds, err := r.LintDir(importPath, dir)
+		if err != nil {
+			if _, ok := errNoGo(err); ok {
+				continue // directory without buildable Go files
+			}
+			return diags, err
+		}
+		diags = append(diags, ds...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func errNoGo(err error) (*build.NoGoError, bool) {
+	for e := err; e != nil; {
+		if ng, ok := e.(*build.NoGoError); ok {
+			return ng, true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			break
+		}
+		e = u.Unwrap()
+	}
+	// fmt.Errorf with %v does not wrap; fall back to the message.
+	if strings.Contains(err.Error(), "no buildable Go source files") ||
+		strings.Contains(err.Error(), "no Go files in") {
+		return nil, true
+	}
+	return nil, false
+}
+
+// packageDirs walks root collecting directories that contain at least
+// one .go file, skipping testdata, vendor, results, and hidden dirs.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() {
+				if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor" || name == "results" {
+					continue
+				}
+				if err := walk(filepath.Join(dir, name)); err != nil {
+					return err
+				}
+				continue
+			}
+			if strings.HasSuffix(name, ".go") {
+				hasGo = true
+			}
+		}
+		if hasGo {
+			dirs = append(dirs, dir)
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot locates the repository root (the directory with go.mod)
+// relative to this package.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+type want struct {
+	rule string
+	line int
+}
+
+// TestRuleFixtures lints each seeded-violation fixture as if it lived
+// in internal/ and asserts the exact (rule, line) diagnostics.
+func TestRuleFixtures(t *testing.T) {
+	cases := []struct {
+		dir  string
+		want []want
+	}{
+		{"sl001", []want{{"SL001", 8}, {"SL001", 9}}},
+		{"sl002", []want{{"SL002", 8}, {"SL002", 9}}},
+		{"sl003", []want{{"SL003", 18}, {"SL003", 25}}},
+		{"sl004", []want{{"SL004", 14}, {"SL004", 15}, {"SL004", 16}, {"SL004", 21}}},
+		{"sl005", []want{{"SL005", 13}, {"SL005", 20}}},
+		{"clean", nil},
+	}
+	r := NewRunner(moduleRoot(t))
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			importPath := ModulePath + "/internal/" + tc.dir
+			dir := filepath.Join("testdata", tc.dir)
+			diags, err := r.LintDir(importPath, dir)
+			if err != nil {
+				t.Fatalf("LintDir: %v", err)
+			}
+			if len(diags) != len(tc.want) {
+				t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(tc.want), render(diags))
+			}
+			for i, w := range tc.want {
+				d := diags[i]
+				if d.Rule != w.rule || d.Pos.Line != w.line {
+					t.Errorf("diag %d = %s at line %d, want %s at line %d", i, d.Rule, d.Pos.Line, w.rule, w.line)
+				}
+			}
+		})
+	}
+}
+
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestFixturesExemptOutsideInternal verifies the Applies predicates:
+// linted under a cmd/ path, only the module-wide rules (SL002, SL004)
+// still fire on the same fixture sources.
+func TestFixturesExemptOutsideInternal(t *testing.T) {
+	r := NewRunner(moduleRoot(t))
+	diags, err := r.LintDir(ModulePath+"/cmd/sl001", filepath.Join("testdata", "sl001"))
+	if err != nil {
+		t.Fatalf("LintDir: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("SL001 fired outside internal/:\n%s", render(diags))
+	}
+	diags, err = r.LintDir(ModulePath+"/cmd/sl002", filepath.Join("testdata", "sl002"))
+	if err != nil {
+		t.Fatalf("LintDir: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("SL002 must stay module-wide, got:\n%s", render(diags))
+	}
+}
+
+// TestRuleTableIsWellFormed checks IDs are unique, sequential, and
+// resolvable through RuleByID.
+func TestRuleTableIsWellFormed(t *testing.T) {
+	rules := AllRules()
+	seen := make(map[string]bool)
+	for _, r := range rules {
+		if !strings.HasPrefix(r.ID, "SL") || len(r.ID) != 5 {
+			t.Errorf("rule ID %q is not of the form SLnnn", r.ID)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate rule ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Name == "" || r.Doc == "" || r.Check == nil {
+			t.Errorf("rule %s is missing name/doc/check", r.ID)
+		}
+		got, ok := RuleByID(r.ID)
+		if !ok || got.Name != r.Name {
+			t.Errorf("RuleByID(%s) failed", r.ID)
+		}
+	}
+	if _, ok := RuleByID("SL999"); ok {
+		t.Error("RuleByID invented a rule")
+	}
+}
+
+// TestRepoIsClean runs every rule over the whole module — the same
+// sweep as `go run ./cmd/simlint ./...` in CI — and requires zero
+// findings. Any rule violation introduced into the simulator fails
+// here first, with the exact file:line in the failure message.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module; skipped in -short")
+	}
+	root := moduleRoot(t)
+	r := NewRunner(root)
+	diags, err := r.LintTree(root)
+	if err != nil {
+		t.Fatalf("LintTree: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("repository has lint findings:\n%s", render(diags))
+	}
+}

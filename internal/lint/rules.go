@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AllRules returns the project rule table. IDs are stable: tests,
+// fixtures, and review waivers refer to them by name.
+func AllRules() []Rule {
+	return []Rule{
+		{
+			ID:   "SL001",
+			Name: "wallclock",
+			Doc: "no time.Now/Since/Until in simulation packages: simulated time " +
+				"is cycle counts; wall-clock reads make runs irreproducible",
+			Applies: internalOnly,
+			Check:   checkWallclock,
+		},
+		{
+			ID:   "SL002",
+			Name: "globalrand",
+			Doc: "no global math/rand functions: randomness must flow through an " +
+				"explicitly seeded *rand.Rand (or the project's SplitMix64) so " +
+				"identical seeds give identical runs",
+			Check: checkGlobalRand,
+		},
+		{
+			ID:   "SL003",
+			Name: "maprange",
+			Doc: "no calls inside a range over a map in simulation packages: map " +
+				"iteration order is randomized per process, so order-dependent " +
+				"work must collect and sort keys first",
+			Applies: internalOnly,
+			Check:   checkMapRange,
+		},
+		{
+			ID:   "SL004",
+			Name: "rawcycle",
+			Doc: "no raw cycle-count constants in arithmetic outside internal/cost: " +
+				"latencies and penalties belong in the cost model where " +
+				"experiments can vary them",
+			Applies: func(path string) bool {
+				return !strings.HasPrefix(path, ModulePath+"/internal/cost")
+			},
+			Check: checkRawCycle,
+		},
+		{
+			ID:   "SL005",
+			Name: "panic",
+			Doc: "no bare panic in library packages: fail through " +
+				"panic(check.Failf(...)) so tests and the simcheck sanitizer can " +
+				"recognize simulator failures by type",
+			Applies: func(path string) bool {
+				return internalOnly(path) &&
+					!strings.HasPrefix(path, ModulePath+"/internal/check")
+			},
+			Check: checkPanic,
+		},
+	}
+}
+
+// RuleByID returns the rule with the given ID, or false.
+func RuleByID(id string) (Rule, bool) {
+	for _, r := range AllRules() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+func internalOnly(path string) bool {
+	return strings.HasPrefix(path, ModulePath+"/internal/")
+}
+
+// calleeFunc resolves the called function of a CallExpr, or nil when the
+// callee is a builtin, a type conversion, or a function-typed value.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// inspectCalls visits every call expression in the pass's files.
+func inspectCalls(p *Pass, visit func(call *ast.CallExpr)) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				visit(call)
+			}
+			return true
+		})
+	}
+}
+
+// --- SL001: wallclock ---------------------------------------------------
+
+func checkWallclock(p *Pass) {
+	inspectCalls(p, func(call *ast.CallExpr) {
+		f := calleeFunc(p.Info, call)
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "time" {
+			return
+		}
+		switch f.Name() {
+		case "Now", "Since", "Until":
+			p.Reportf(call.Pos(), "time.%s in simulation code: simulated time is cycle counts; wall-clock reads are irreproducible", f.Name())
+		}
+	})
+}
+
+// --- SL002: globalrand --------------------------------------------------
+
+// globalRandAllowed lists the math/rand package-level functions that do
+// not touch the shared global source: they construct the threaded state
+// the rule wants callers to use.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func checkGlobalRand(p *Pass) {
+	inspectCalls(p, func(call *ast.CallExpr) {
+		f := calleeFunc(p.Info, call)
+		if f == nil || f.Pkg() == nil {
+			return
+		}
+		path := f.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return
+		}
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // method on an explicit *rand.Rand: the sanctioned form
+		}
+		if globalRandAllowed[f.Name()] {
+			return
+		}
+		p.Reportf(call.Pos(), "global rand.%s: thread an explicitly seeded *rand.Rand through the call path", f.Name())
+	})
+}
+
+// --- SL003: maprange ----------------------------------------------------
+
+func checkMapRange(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rng.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isOrderInsensitiveCall(p.Info, call) {
+					return true
+				}
+				p.Reportf(call.Pos(), "call to %s inside range over map: iteration order is randomized; collect keys, sort, then iterate (append-then-sort is exempt)", types.ExprString(call.Fun))
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isOrderInsensitiveCall reports whether a call inside a map-range body
+// cannot leak iteration order into simulator state: builtins (append
+// for the collect-then-sort pattern, delete, len, cap, make, ...) and
+// type conversions.
+func isOrderInsensitiveCall(info *types.Info, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return true // conversion
+	}
+	var obj types.Object
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// --- SL004: rawcycle ----------------------------------------------------
+
+func checkRawCycle(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				switch e.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+				default:
+					return true
+				}
+				if (cycleNamed(e.X) && rawIntLit(e.Y)) || (cycleNamed(e.Y) && rawIntLit(e.X)) {
+					p.Reportf(e.Pos(), "raw cycle constant in %q: latency and penalty constants belong in internal/cost", types.ExprString(e))
+				}
+			case *ast.AssignStmt:
+				switch e.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				default:
+					return true
+				}
+				if len(e.Lhs) == 1 && len(e.Rhs) == 1 && cycleNamed(e.Lhs[0]) && rawIntLit(e.Rhs[0]) {
+					p.Reportf(e.Pos(), "raw cycle constant in %q: latency and penalty constants belong in internal/cost",
+						types.ExprString(e.Lhs[0])+" "+e.Tok.String()+" "+types.ExprString(e.Rhs[0]))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// cycleNamed reports whether expr is an identifier or field selection
+// whose name mentions cycles.
+func cycleNamed(expr ast.Expr) bool {
+	var name string
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "cycle")
+}
+
+// rawIntLit reports whether expr is an integer literal ≥ 2 — the
+// threshold exempts the shift/halving idioms (x*1, x/2 is borderline
+// but /2 and *2 DO count; only 0 and 1 are structural).
+func rawIntLit(expr ast.Expr) bool {
+	lit, ok := ast.Unparen(expr).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return false
+	}
+	v, err := strconv.ParseUint(strings.ReplaceAll(lit.Value, "_", ""), 0, 64)
+	return err == nil && v >= 2
+}
+
+// --- SL005: panic -------------------------------------------------------
+
+func checkPanic(p *Pass) {
+	inspectCalls(p, func(call *ast.CallExpr) {
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return
+		}
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return // shadowed: some local function named panic
+		}
+		if len(call.Args) == 1 && isCheckFailf(p.Info, call.Args[0]) {
+			return
+		}
+		p.Reportf(call.Pos(), "bare panic in library package: use panic(check.Failf(...)) so failures carry a typed check.Failure")
+	})
+}
+
+// isCheckFailf reports whether expr is a call to
+// graphmem/internal/check.Failf.
+func isCheckFailf(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f := calleeFunc(info, call)
+	return f != nil && f.Name() == "Failf" &&
+		f.Pkg() != nil && f.Pkg().Path() == ModulePath+"/internal/check"
+}

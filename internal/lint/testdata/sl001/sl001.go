@@ -1,0 +1,14 @@
+// Package sl001 seeds SL001 (wallclock) violations for lint tests.
+package sl001
+
+import "time"
+
+// Tick reads the wall clock twice; both reads must be flagged.
+func Tick() int64 {
+	t := time.Now()    // line 8: SL001
+	d := time.Since(t) // line 9: SL001
+	return t.Unix() + int64(d)
+}
+
+// Format-only uses of package time are fine.
+func Label(d time.Duration) string { return d.String() }

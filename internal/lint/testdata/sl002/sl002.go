@@ -1,0 +1,17 @@
+// Package sl002 seeds SL002 (globalrand) violations for lint tests.
+package sl002
+
+import "math/rand"
+
+// Roll uses the shared global source; both calls must be flagged.
+func Roll() int {
+	rand.Seed(42)       // line 8: SL002
+	return rand.Intn(6) // line 9: SL002
+}
+
+// OK threads explicit state: methods on *rand.Rand are the sanctioned
+// form and must not be flagged.
+func OK(r *rand.Rand) int { return r.Intn(6) }
+
+// Make constructs threaded state; the constructors are exempt.
+func Make(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,46 @@
+// Package sl003 seeds SL003 (maprange) violations for lint tests.
+package sl003
+
+import "sort"
+
+// Table wraps a map the methods below iterate.
+type Table struct {
+	m    map[int]int
+	sink func(int)
+	log  []int
+}
+
+func (t *Table) note(k int) { t.log = append(t.log, k) }
+
+// Emit leaks iteration order into a function-typed field; flagged.
+func (t *Table) Emit() {
+	for k := range t.m {
+		t.sink(k) // line 18: SL003
+	}
+}
+
+// Record calls a method per entry in map order; flagged.
+func (t *Table) Record() {
+	for k := range t.m {
+		t.note(k) // line 25: SL003
+	}
+}
+
+// Sum is order-independent arithmetic with no calls: not flagged.
+func (t *Table) Sum() (total int) {
+	for _, v := range t.m {
+		total += v
+	}
+	return total
+}
+
+// Keys is the sanctioned append-then-sort pattern: builtins and
+// conversions inside the loop are exempt.
+func (t *Table) Keys() []int64 {
+	keys := make([]int64, 0, len(t.m))
+	for k := range t.m {
+		keys = append(keys, int64(k))
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}

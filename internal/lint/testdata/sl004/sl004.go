@@ -1,0 +1,24 @@
+// Package sl004 seeds SL004 (rawcycle) violations for lint tests.
+package sl004
+
+// Stats carries a cycle counter under a selector, like the simulator's
+// stats structs.
+type Stats struct {
+	KernelCycles uint64
+}
+
+// Charge mixes raw constants into cycle arithmetic; three sites must be
+// flagged.
+func Charge(s *Stats, n uint64) uint64 {
+	var cycles uint64
+	cycles += 200                       // line 14: SL004 (aug-assign with raw literal)
+	cycles = cycles + 3                 // line 15: SL004 (binary expr, literal on right)
+	s.KernelCycles = 7 * s.KernelCycles // line 16: SL004 (selector operand, literal on left)
+
+	latency := 5 * n     // no cycle-named operand: not flagged
+	cycles += latency    // no literal: not flagged
+	cycles += n / 2      // rhs is not a literal on a cycle-named lhs... (binary n/2 has no cycle operand)
+	halved := cycles / 2 // line 21: SL004 (/2 still counts; only 0 and 1 are structural)
+	_ = halved
+	return cycles + n // literal-free: not flagged
+}

@@ -1,0 +1,29 @@
+// Package sl005 seeds SL005 (panic) violations for lint tests.
+package sl005
+
+import (
+	"fmt"
+
+	"graphmem/internal/check"
+)
+
+// MustPositive panics with a bare string; must be flagged.
+func MustPositive(n int) {
+	if n <= 0 {
+		panic("not positive") // line 13: SL005
+	}
+}
+
+// MustEven panics with a formatted string; must be flagged.
+func MustEven(n int) {
+	if n%2 != 0 {
+		panic(fmt.Sprintf("odd %d", n)) // line 20: SL005
+	}
+}
+
+// MustAligned uses the sanctioned panic(check.Failf(...)) form: exempt.
+func MustAligned(n int) {
+	if n%8 != 0 {
+		panic(check.Failf("misaligned %d", n))
+	}
+}

@@ -10,9 +10,8 @@
 package machine
 
 import (
-	"fmt"
-
 	"graphmem/internal/cache"
+	"graphmem/internal/check"
 	"graphmem/internal/cost"
 	"graphmem/internal/memsys"
 	"graphmem/internal/oskernel"
@@ -208,14 +207,14 @@ func (m *Machine) Access(va uint64) {
 	tr, fault, ok := m.Space.Translate(va)
 	if !ok {
 		if fault == nil {
-			panic(fmt.Sprintf("machine: access to unmapped address %#x", va))
+			panic(check.Failf("machine: access to unmapped address %#x", va))
 		}
 		fc := m.Kernel.HandleFault(fault)
 		cycles += fc
 		m.phase.FaultCycles += fc
 		tr, _, ok = m.Space.Translate(va)
 		if !ok {
-			panic("machine: fault handling did not map the page")
+			panic(check.Failf("machine: fault handling did not map the page"))
 		}
 	}
 

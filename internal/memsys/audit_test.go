@@ -1,0 +1,68 @@
+package memsys
+
+import (
+	"strings"
+	"testing"
+)
+
+// The seeded-corruption tests plant one specific structural violation
+// each and require CheckInvariants to reject it with a message naming
+// the right defect. (The clean path is covered throughout memsys_test
+// and by FuzzAllocFree.)
+
+func TestAuditDetectsConservationDrift(t *testing.T) {
+	m := New(16 << 20)
+	if m.Alloc(0, Movable, nil, 0) == NoFrame {
+		t.Fatal("alloc failed")
+	}
+	m.allocByType[Movable]++ // counter drifts from frame metadata
+	err := m.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "migratetype") {
+		t.Fatalf("conservation drift not detected: %v", err)
+	}
+}
+
+func TestAuditDetectsOverlappingFreeBlocks(t *testing.T) {
+	m := New(16 << 20)
+	// Frame 0 is inside the free max-order block at 0; marking it free
+	// at order 0 as well makes two free blocks claim it.
+	m.setFree(0, 0)
+	m.freePages++ // keep the page accounting consistent so only the overlap trips
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("overlapping free blocks not detected")
+	}
+}
+
+func TestAuditDetectsUncoalescedBuddies(t *testing.T) {
+	m := New(16 << 20)
+	// Replace one max-order free block with its two halves — exactly
+	// the state Free's eager merging must never leave behind.
+	m.clearFree(0, MaxOrder)
+	m.setFree(0, MaxOrder-1)
+	m.setFree(1<<(MaxOrder-1), MaxOrder-1)
+	err := m.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "uncoalesced") {
+		t.Fatalf("uncoalesced buddies not detected: %v", err)
+	}
+}
+
+func TestAuditDetectsAllocatedInsideFreeBlock(t *testing.T) {
+	m := New(16 << 20)
+	f := m.Alloc(0, Unmovable, nil, 0)
+	if f == NoFrame {
+		t.Fatal("alloc failed")
+	}
+	m.setFree(f, 0) // free bit raised under a live allocation
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("allocated frame inside free block not detected")
+	}
+}
+
+func TestAuditDetectsFreePageDrift(t *testing.T) {
+	m := New(16 << 20)
+	m.freePages--
+	err := m.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "freePages") {
+		t.Fatalf("freePages drift not detected: %v", err)
+	}
+}

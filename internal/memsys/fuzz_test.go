@@ -1,0 +1,185 @@
+package memsys
+
+import (
+	"testing"
+
+	"graphmem/internal/check"
+)
+
+// fuzzOwner is the shadow bookkeeping for tracked order-0 movable
+// allocations: compaction moves them (FrameMoved) and reclaim may swap
+// them out (FrameReclaimed), and the shadow must stay coherent through
+// both, exactly like the VM layer's mapping tables.
+type fuzzOwner struct {
+	t       *testing.T
+	entries []fuzzEntry
+}
+
+type fuzzEntry struct {
+	frame Frame
+	live  bool
+}
+
+func (o *fuzzOwner) FrameMoved(old, new Frame, cookie uint64) {
+	e := &o.entries[cookie]
+	if !e.live || e.frame != old {
+		o.t.Fatalf("FrameMoved(%d→%d, cookie %d): shadow has {frame %d, live %v}",
+			old, new, cookie, e.frame, e.live)
+	}
+	e.frame = new
+}
+
+func (o *fuzzOwner) FrameReclaimed(f Frame, cookie uint64) bool {
+	e := &o.entries[cookie]
+	if !e.live || e.frame != f {
+		return false // stale queue entry
+	}
+	if (uint64(f)+cookie)%3 == 0 {
+		return false // veto: page is "hot"
+	}
+	e.live = false
+	return true
+}
+
+// FuzzAllocFree replays arbitrary Alloc/Free/split/compaction/reclaim
+// sequences against the buddy allocator and audits the full invariant
+// set (free-list disjointness, buddy coalescing, per-migratetype frame
+// conservation) every few operations. Run it with -tags simcheck to
+// also exercise the check.Audit path.
+func FuzzAllocFree(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 7, 3, 0, 4, 8, 5})
+	f.Add([]byte{1, 1, 1, 4, 4, 4})
+	f.Add([]byte{0, 0, 0, 0, 8, 8, 8, 8, 7, 7})
+	f.Add([]byte{2, 0xF2, 6, 5, 2, 0x32, 6, 9, 3})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := New(16 << 20) // 4096 frames
+		owner := &fuzzOwner{t: t}
+		var huge []Frame // movable huge blocks, nil owner: immune to move/reclaim
+		type ublock struct {
+			frame Frame
+			order int
+		}
+		var unmov []ublock
+
+		audit := func(step int) {
+			t.Helper()
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", step, err)
+			}
+			check.Audit("memsys", m.CheckInvariants)
+		}
+
+		for i := 0; i < len(data); i++ {
+			op := data[i] % 10
+			arg := 0
+			if i+1 < len(data) {
+				arg = int(data[i+1])
+			}
+			switch op {
+			case 0: // tracked order-0 movable alloc
+				fr := m.Alloc(0, Movable, owner, uint64(len(owner.entries)))
+				if fr != NoFrame {
+					owner.entries = append(owner.entries, fuzzEntry{frame: fr, live: true})
+				}
+			case 1: // movable huge block, nil owner
+				fr := m.Alloc(HugeOrder, Movable, nil, 0)
+				if fr != NoFrame {
+					huge = append(huge, fr)
+				}
+			case 2: // unmovable block, any order up to huge
+				order := arg % (HugeOrder + 1)
+				fr := m.Alloc(order, Unmovable, nil, 0)
+				if fr != NoFrame {
+					unmov = append(unmov, ublock{fr, order})
+				}
+			case 3: // free a tracked page (unless reclaim already took it)
+				if len(owner.entries) == 0 {
+					continue
+				}
+				e := &owner.entries[arg%len(owner.entries)]
+				if e.live {
+					m.Free(e.frame, 0)
+					e.live = false
+				}
+			case 4: // free a huge block
+				if len(huge) == 0 {
+					continue
+				}
+				j := arg % len(huge)
+				m.Free(huge[j], HugeOrder)
+				huge[j] = huge[len(huge)-1]
+				huge = huge[:len(huge)-1]
+			case 5: // free an unmovable block
+				if len(unmov) == 0 {
+					continue
+				}
+				j := arg % len(unmov)
+				m.Free(unmov[j].frame, unmov[j].order)
+				unmov[j] = unmov[len(unmov)-1]
+				unmov = unmov[:len(unmov)-1]
+			case 6: // split an unmovable huge block, keep only its head page
+				for j := range unmov {
+					if unmov[j].order != HugeOrder {
+						continue
+					}
+					m.SplitAllocated(unmov[j].frame, HugeOrder)
+					for k := Frame(1); k < HugePages; k++ {
+						m.Free(unmov[j].frame+k, 0)
+					}
+					unmov[j].order = 0
+					break
+				}
+			case 7:
+				m.TryCompactHuge()
+			case 8:
+				m.ReclaimPages(1 + arg%64)
+			case 9: // pin/unpin a tracked page (compaction still moves it)
+				if len(owner.entries) == 0 {
+					continue
+				}
+				j := arg % len(owner.entries)
+				e := owner.entries[j]
+				if !e.live {
+					continue
+				}
+				if m.MigrateTypeOf(e.frame) == Movable {
+					m.SetMigrateType(e.frame, Pinned)
+				} else {
+					m.SetMigrateType(e.frame, Movable)
+				}
+			}
+			if i%16 == 0 {
+				audit(i)
+			}
+		}
+		audit(len(data))
+
+		// Shadow state must agree with the allocator before teardown.
+		for j, e := range owner.entries {
+			if e.live && !m.Allocated(e.frame) {
+				t.Fatalf("tracked entry %d: frame %d live in shadow but free in allocator", j, e.frame)
+			}
+		}
+
+		// Tear down; all memory must return, fully coalesced.
+		for j := range owner.entries {
+			if owner.entries[j].live {
+				m.Free(owner.entries[j].frame, 0)
+			}
+		}
+		for _, fr := range huge {
+			m.Free(fr, HugeOrder)
+		}
+		for _, b := range unmov {
+			m.Free(b.frame, b.order)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("after teardown: %v", err)
+		}
+		if m.FreePages() != m.TotalPages() {
+			t.Fatalf("leak: %d of %d pages free after teardown", m.FreePages(), m.TotalPages())
+		}
+	})
+}

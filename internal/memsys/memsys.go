@@ -12,6 +12,8 @@ package memsys
 import (
 	"fmt"
 	"math/bits"
+
+	"graphmem/internal/check"
 )
 
 // Fundamental geometry. The simulator uses x86-64 sizes throughout.
@@ -128,6 +130,12 @@ type Memory struct {
 	// list does. Entries may be stale or duplicated; dequeue filters.
 	reclaimQ [2]frameQueue
 
+	// allocByType counts allocated frames per migrate type, maintained
+	// on every transition so the simcheck audit can verify conservation
+	// against a full scan (no frame leaks or double-counts across
+	// alloc/free/compaction/reclaim).
+	allocByType [4]uint64
+
 	stats Stats
 }
 
@@ -186,7 +194,7 @@ func New(totalBytes uint64) *Memory {
 	blockBytes := uint64(PageSize) << MaxOrder
 	totalBytes -= totalBytes % blockBytes
 	if totalBytes == 0 {
-		panic("memsys: memory smaller than one max-order block")
+		panic(check.Failf("memsys: memory smaller than one max-order block"))
 	}
 	n := Frame(totalBytes / PageSize)
 	m := &Memory{
@@ -268,7 +276,7 @@ func (m *Memory) lowestFree(order int) Frame {
 // reclaim, or fall back).
 func (m *Memory) Alloc(order int, mtype MigrateType, owner Owner, cookie uint64) Frame {
 	if order < 0 || order > MaxOrder {
-		panic(fmt.Sprintf("memsys: bad order %d", order))
+		panic(check.Failf("memsys: bad order %d", order))
 	}
 	f := m.allocBlock(order)
 	if f == NoFrame {
@@ -291,6 +299,7 @@ func (m *Memory) Alloc(order int, mtype MigrateType, owner Owner, cookie uint64)
 			m.enqueueReclaim(f+i, mtype, owner)
 		}
 	}
+	m.allocByType[mtype] += uint64(npages)
 	m.freePages -= uint64(npages)
 	if order >= HugeOrder {
 		m.stats.AllocsHuge++
@@ -348,6 +357,7 @@ func (m *Memory) AllocAt(f Frame, order int, mtype MigrateType, owner Owner, coo
 			m.enqueueReclaim(f+i, mtype, owner)
 		}
 	}
+	m.allocByType[mtype] += uint64(npages)
 	m.freePages -= uint64(npages)
 	if order >= HugeOrder {
 		m.stats.AllocsHuge++
@@ -381,13 +391,14 @@ func (m *Memory) allocBlock(order int) Frame {
 func (m *Memory) Free(f Frame, order int) {
 	npages := Frame(1) << order
 	if f+npages > m.nframes {
-		panic("memsys: free out of range")
+		panic(check.Failf("memsys: free out of range"))
 	}
 	for i := Frame(0); i < npages; i++ {
 		fi := &m.frames[f+i]
 		if !fi.allocated {
-			panic(fmt.Sprintf("memsys: double free of frame %d", f+i))
+			panic(check.Failf("memsys: double free of frame %d", f+i))
 		}
+		m.allocByType[fi.mtype]--
 		*fi = frameInfo{}
 	}
 	m.freePages += uint64(npages)
@@ -420,7 +431,7 @@ func (m *Memory) SplitAllocated(f Frame, order int) {
 	for i := Frame(0); i < npages; i++ {
 		fi := &m.frames[f+i]
 		if !fi.allocated {
-			panic("memsys: SplitAllocated on free frame")
+			panic(check.Failf("memsys: SplitAllocated on free frame"))
 		}
 		fi.blockOrder = 0
 	}
@@ -431,7 +442,7 @@ func (m *Memory) SplitAllocated(f Frame, order int) {
 func (m *Memory) SetOwner(f Frame, owner Owner, cookie uint64) {
 	fi := &m.frames[f]
 	if !fi.allocated {
-		panic("memsys: SetOwner on free frame")
+		panic(check.Failf("memsys: SetOwner on free frame"))
 	}
 	fi.owner = owner
 	fi.cookie = cookie
@@ -446,8 +457,10 @@ func (m *Memory) SetOwner(f Frame, owner Owner, cookie uint64) {
 func (m *Memory) SetMigrateType(f Frame, mt MigrateType) {
 	fi := &m.frames[f]
 	if !fi.allocated {
-		panic("memsys: SetMigrateType on free frame")
+		panic(check.Failf("memsys: SetMigrateType on free frame"))
 	}
+	m.allocByType[fi.mtype]--
+	m.allocByType[mt]++
 	fi.mtype = mt
 }
 
@@ -583,6 +596,8 @@ func (m *Memory) evacuateRegion(base Frame) (migrated int, ok bool) {
 		if fi.owner != nil {
 			fi.owner.FrameMoved(f, dst, fi.cookie)
 		}
+		m.allocByType[fi.mtype]--
+		m.allocByType[d.mtype]++
 		*fi = frameInfo{}
 		m.freePages++
 		m.freeBlock(f, 0)
@@ -708,8 +723,9 @@ func (m *Memory) reclaimPass(mt MigrateType, want int) int {
 			continue
 		}
 		if fi.blockOrder >= HugeOrder {
-			panic("memsys: owner approved freeing a huge block constituent")
+			panic(check.Failf("memsys: owner approved freeing a huge block constituent"))
 		}
+		m.allocByType[fi.mtype]--
 		*fi = frameInfo{}
 		m.freePages++
 		m.freeBlock(f, 0)
@@ -728,10 +744,24 @@ func (m *Memory) ForEachAllocated(fn func(f Frame, mt MigrateType)) {
 	}
 }
 
-// CheckInvariants validates internal consistency (free accounting,
-// bitset/metadata agreement) and returns an error describing the first
-// violation. Tests call this after operation sequences.
+// CheckInvariants validates internal consistency and returns an error
+// describing the first violation. Tests call this after operation
+// sequences, and the simcheck runtime sanitizer (check.Audit) calls it
+// at policy-decision boundaries. Beyond free accounting and
+// bitset/metadata agreement it verifies three structural properties:
+//
+//   - free lists are disjoint: no frame is covered by two free blocks;
+//   - buddies are coalesced: no two same-order buddy blocks are both
+//     free (Free merges eagerly, so such a pair means a missed merge);
+//   - per-migratetype conservation: the incrementally-maintained
+//     allocByType counters match a full scan of frame metadata.
 func (m *Memory) CheckInvariants() error {
+	// coverage marks frames claimed by some free block during the scan,
+	// to detect overlapping free blocks.
+	coverage := make([]uint64, (uint32(m.nframes)+63)/64)
+	covered := func(f Frame) bool { return coverage[f/64]&(1<<(f%64)) != 0 }
+	cover := func(f Frame) { coverage[f/64] |= 1 << (f % 64) }
+
 	var freeFromBits uint64
 	for o := 0; o <= MaxOrder; o++ {
 		var count uint32
@@ -744,6 +774,12 @@ func (m *Memory) CheckInvariants() error {
 				if f%(1<<o) != 0 {
 					return fmt.Errorf("order-%d free block at unaligned frame %d", o, f)
 				}
+				if o < MaxOrder {
+					buddy := f ^ (Frame(1) << o)
+					if buddy < m.nframes && m.isFree(buddy, o) {
+						return fmt.Errorf("uncoalesced buddies: order-%d blocks %d and %d both free", o, f, buddy)
+					}
+				}
 				for i := Frame(0); i < 1<<o; i++ {
 					if f+i >= m.nframes {
 						return fmt.Errorf("free block %d order %d exceeds memory", f, o)
@@ -751,6 +787,10 @@ func (m *Memory) CheckInvariants() error {
 					if m.frames[f+i].allocated {
 						return fmt.Errorf("frame %d allocated but inside free block %d order %d", f+i, f, o)
 					}
+					if covered(f + i) {
+						return fmt.Errorf("frame %d covered by two free blocks (second: block %d order %d)", f+i, f, o)
+					}
+					cover(f + i)
 				}
 			}
 		}
@@ -763,13 +803,23 @@ func (m *Memory) CheckInvariants() error {
 		return fmt.Errorf("freePages=%d but bitsets say %d", m.freePages, freeFromBits)
 	}
 	var allocated uint64
+	var byType [4]uint64
 	for f := Frame(0); f < m.nframes; f++ {
 		if m.frames[f].allocated {
 			allocated++
+			byType[m.frames[f].mtype]++
+		} else if !covered(f) {
+			return fmt.Errorf("frame %d neither allocated nor inside any free block", f)
 		}
 	}
 	if allocated+m.freePages != uint64(m.nframes) {
 		return fmt.Errorf("allocated %d + free %d != total %d", allocated, m.freePages, m.nframes)
+	}
+	for mt, n := range byType {
+		if n != m.allocByType[mt] {
+			return fmt.Errorf("migratetype %s: counter says %d frames but scan found %d",
+				MigrateType(mt), m.allocByType[mt], n)
+		}
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"graphmem/internal/check"
 	"graphmem/internal/cost"
 	"graphmem/internal/memsys"
 	"graphmem/internal/vm"
@@ -363,7 +364,7 @@ func (k *Kernel) mapBase(v *vm.VMA, p int, faultCost uint64) uint64 {
 		cycles += k.reclaim(k.cfg.ReclaimBatch)
 		f = k.mem.Alloc(0, memsys.Movable, nil, 0)
 		if f == memsys.NoFrame {
-			panic(fmt.Sprintf("oskernel: OOM mapping %s page %d (free=%d)",
+			panic(check.Failf("oskernel: OOM mapping %s page %d (free=%d)",
 				v.Name, p, k.mem.FreePages()))
 		}
 	}

@@ -8,6 +8,7 @@ package reorder
 import (
 	"sort"
 
+	"graphmem/internal/check"
 	"graphmem/internal/graph"
 )
 
@@ -60,7 +61,7 @@ func Compute(g *graph.Graph, m Method, seed uint64) ([]uint32, Cost) {
 	case Random:
 		return randomPerm(g.N, seed), Cost{VertexTraversals: g.N}
 	default:
-		panic("reorder: unknown method " + string(m))
+		panic(check.Failf("reorder: unknown method %s", m))
 	}
 }
 
@@ -153,7 +154,7 @@ func Apply(g *graph.Graph, m Method, seed uint64) (*graph.Graph, Cost) {
 	perm, c := Compute(g, m, seed)
 	ng, err := g.Relabel(perm)
 	if err != nil {
-		panic("reorder: computed permutation invalid: " + err.Error())
+		panic(check.Failf("reorder: computed permutation invalid: %v", err))
 	}
 	// Relabeling itself is the third paper traversal (re-emitting IDs):
 	// one vertex pass plus one edge pass.

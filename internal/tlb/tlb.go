@@ -11,6 +11,7 @@ package tlb
 import (
 	"fmt"
 
+	"graphmem/internal/check"
 	"graphmem/internal/vm"
 )
 
@@ -25,7 +26,7 @@ func (c SetConfig) sets() int {
 		return 0
 	}
 	if c.Ways <= 0 || c.Entries%c.Ways != 0 {
-		panic(fmt.Sprintf("tlb: %d entries not divisible by %d ways", c.Entries, c.Ways))
+		panic(check.Failf("tlb: %d entries not divisible by %d ways", c.Entries, c.Ways))
 	}
 	return c.Entries / c.Ways
 }
@@ -114,7 +115,7 @@ func newSetAssoc(c SetConfig) *setAssoc {
 		return &setAssoc{}
 	}
 	if sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("tlb: set count %d not a power of two", sets))
+		panic(check.Failf("tlb: set count %d not a power of two", sets))
 	}
 	return &setAssoc{
 		setsMask: uint64(sets - 1),

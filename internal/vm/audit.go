@@ -1,0 +1,124 @@
+package vm
+
+import (
+	"fmt"
+
+	"graphmem/internal/memsys"
+)
+
+// CheckInvariants validates the address space's mapping bookkeeping and
+// returns an error describing the first violation. The simcheck runtime
+// sanitizer (check.Audit) calls it at policy-decision boundaries; tests
+// call it after operation sequences.
+//
+// Checked:
+//
+//   - the VMA list is sorted by base, non-overlapping, and agrees with
+//     the byID index;
+//   - per region: present4k equals the number of live 4K mappings, and
+//     a huge-mapped region has no 4K mappings or swap entries;
+//   - every mapped frame is allocated in the physical layer, and no
+//     page is simultaneously mapped and swapped;
+//   - the global SwappedOut counter matches the per-page swap flags;
+//   - with SimPageTables: every live VMA has one leaf page-table frame
+//     per region, and PageTableBytes matches the page-table page count
+//     (PML4 + PDPT + PDs + leaf PTs) — the "leaf count matches
+//     mapped-page accounting" conservation the fidelity mode relies on.
+func (as *AddressSpace) CheckInvariants() error {
+	var swapped uint64
+	var ptPages uint64
+	var prevEnd uint64
+	for i, v := range as.vmas {
+		if v.dead {
+			return fmt.Errorf("vma %s: dead but still listed", v.Name)
+		}
+		if as.byID[v.id] != v {
+			return fmt.Errorf("vma %s: byID[%d] does not point back to it", v.Name, v.id)
+		}
+		if i > 0 && v.Base < prevEnd {
+			return fmt.Errorf("vma %s: base %#x overlaps previous end %#x", v.Name, v.Base, prevEnd)
+		}
+		prevEnd = v.End()
+		if v.Base%memsys.HugeSize != 0 {
+			return fmt.Errorf("vma %s: base %#x not 2MB aligned", v.Name, v.Base)
+		}
+		if err := as.checkVMA(v); err != nil {
+			return fmt.Errorf("vma %s: %v", v.Name, err)
+		}
+		for _, s := range v.swap {
+			if s {
+				swapped++
+			}
+		}
+		if as.SimPageTables {
+			if len(v.ptFrames) != v.Regions() {
+				return fmt.Errorf("vma %s: %d leaf page-table frames for %d regions",
+					v.Name, len(v.ptFrames), v.Regions())
+			}
+			for r, f := range v.ptFrames {
+				if f == memsys.NoFrame {
+					return fmt.Errorf("vma %s: region %d has no leaf page-table frame", v.Name, r)
+				}
+				if !as.mem.Allocated(f) {
+					return fmt.Errorf("vma %s: leaf page-table frame %d (region %d) not allocated", v.Name, f, r)
+				}
+				ptPages++
+			}
+		}
+	}
+	if len(as.byID) != len(as.vmas) {
+		return fmt.Errorf("byID holds %d entries but %d VMAs are live", len(as.byID), len(as.vmas))
+	}
+	if swapped != as.SwappedOut {
+		return fmt.Errorf("SwappedOut=%d but per-page flags count %d", as.SwappedOut, swapped)
+	}
+	if as.SimPageTables && as.pml4 != memsys.NoFrame {
+		ptPages += 2 // PML4 + PDPT
+		ptPages += uint64(len(as.pds))
+		if want := ptPages * memsys.PageSize; want != as.PageTableBytes {
+			return fmt.Errorf("PageTableBytes=%d but %d paging-structure pages are live (want %d)",
+				as.PageTableBytes, ptPages, want)
+		}
+	}
+	return nil
+}
+
+// checkVMA validates one VMA's per-page and per-region accounting.
+func (as *AddressSpace) checkVMA(v *VMA) error {
+	for r := 0; r < v.Regions(); r++ {
+		lo, hi := r*RegionPages, (r+1)*RegionPages
+		if hi > v.Pages {
+			hi = v.Pages
+		}
+		mapped4k := 0
+		for p := lo; p < hi; p++ {
+			f := v.base[p]
+			if f != memsys.NoFrame {
+				mapped4k++
+				if !as.mem.Allocated(f) {
+					return fmt.Errorf("page %d mapped to free frame %d", p, f)
+				}
+				if v.swap[p] {
+					return fmt.Errorf("page %d both mapped and swapped", p)
+				}
+			}
+		}
+		if int(v.present4k[r]) != mapped4k {
+			return fmt.Errorf("region %d: present4k=%d but %d pages mapped", r, v.present4k[r], mapped4k)
+		}
+		if hf := v.huge[r]; hf != memsys.NoFrame {
+			if mapped4k != 0 {
+				return fmt.Errorf("region %d: huge-mapped with %d 4K pages present", r, mapped4k)
+			}
+			if !as.mem.Allocated(hf) {
+				return fmt.Errorf("region %d: huge-mapped to free frame %d", r, hf)
+			}
+			for p := lo; p < hi; p++ {
+				if v.swap[p] {
+					return fmt.Errorf("region %d: huge-mapped but page %d flagged swapped", r, p)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package vm
+
+import (
+	"testing"
+
+	"graphmem/internal/memsys"
+)
+
+// TestCheckInvariantsCleanAfterOps runs the full mapping lifecycle —
+// mmap, 4K faults, huge mapping, demotion, reclaim-driven swap, swap-in,
+// munmap — auditing after every step.
+func TestCheckInvariantsCleanAfterOps(t *testing.T) {
+	mem := memsys.New(64 << 20)
+	as := NewAddressSpace(mem)
+	as.SimPageTables = true
+
+	audit := func(step string) {
+		t.Helper()
+		if err := as.CheckInvariants(); err != nil {
+			t.Fatalf("audit failed after %s: %v", step, err)
+		}
+	}
+	audit("creation")
+
+	v := as.Mmap("a", 3*memsys.HugeSize)
+	w := as.Mmap("b", memsys.HugeSize/2)
+	audit("mmap")
+
+	for p := 0; p < 10; p++ {
+		as.MapBase(v, p, mem.Alloc(0, memsys.Movable, nil, 0))
+	}
+	as.MapBase(w, 3, mem.Alloc(0, memsys.Movable, nil, 0))
+	audit("4K faults")
+
+	hf := mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
+	as.MapHuge(v, 1, hf)
+	audit("huge map")
+
+	as.DemoteHuge(v, 1)
+	audit("demotion")
+
+	if _, swapped := mem.ReclaimPages(4); swapped == 0 {
+		t.Fatal("reclaim swapped nothing; swap path not exercised")
+	}
+	audit("reclaim/swap-out")
+
+	// Swap one page back in (the fault handler's re-map path).
+	for p := 0; p < v.Pages; p++ {
+		if v.swap[p] {
+			as.MapBase(v, p, mem.Alloc(0, memsys.Movable, nil, 0))
+			break
+		}
+	}
+	audit("swap-in")
+
+	as.Munmap(w)
+	audit("munmap")
+	if err := mem.CheckInvariants(); err != nil {
+		t.Fatalf("physical layer audit failed: %v", err)
+	}
+}
+
+// The seeded-corruption tests plant one specific bookkeeping
+// inconsistency each and require CheckInvariants to reject it.
+
+func corruptibleSpace(t *testing.T) (*AddressSpace, *memsys.Memory, *VMA) {
+	t.Helper()
+	mem := memsys.New(64 << 20)
+	as := NewAddressSpace(mem)
+	as.SimPageTables = true
+	v := as.Mmap("a", 2*memsys.HugeSize)
+	as.MapBase(v, 0, mem.Alloc(0, memsys.Movable, nil, 0))
+	if err := as.CheckInvariants(); err != nil {
+		t.Fatalf("baseline not clean: %v", err)
+	}
+	return as, mem, v
+}
+
+func TestCheckInvariantsDetectsPresent4KDrift(t *testing.T) {
+	as, _, v := corruptibleSpace(t)
+	v.present4k[0] = 7 // one page is actually mapped
+	if err := as.CheckInvariants(); err == nil {
+		t.Fatal("present4k drift not detected")
+	}
+}
+
+func TestCheckInvariantsDetectsMappingToFreeFrame(t *testing.T) {
+	as, mem, v := corruptibleSpace(t)
+	mem.Free(v.base[0], 0) // frame freed behind the mapping's back
+	if err := as.CheckInvariants(); err == nil {
+		t.Fatal("mapping to a free frame not detected")
+	}
+}
+
+func TestCheckInvariantsDetectsMappedAndSwapped(t *testing.T) {
+	as, _, v := corruptibleSpace(t)
+	v.swap[0] = true
+	as.SwappedOut++
+	if err := as.CheckInvariants(); err == nil {
+		t.Fatal("page both mapped and swapped not detected")
+	}
+}
+
+func TestCheckInvariantsDetectsSwapCounterDrift(t *testing.T) {
+	as, _, _ := corruptibleSpace(t)
+	as.SwappedOut = 42 // no page carries a swap flag
+	if err := as.CheckInvariants(); err == nil {
+		t.Fatal("SwappedOut drift not detected")
+	}
+}
+
+func TestCheckInvariantsDetectsHugeWith4KOverlap(t *testing.T) {
+	as, mem, v := corruptibleSpace(t)
+	// Region 1 is empty: install a huge mapping, then corrupt a 4K slot
+	// underneath it without going through MapBase's guards.
+	hf := mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
+	as.MapHuge(v, 1, hf)
+	f := mem.Alloc(0, memsys.Movable, nil, 0)
+	v.base[RegionPages] = f
+	v.present4k[1]++
+	if err := as.CheckInvariants(); err == nil {
+		t.Fatal("huge mapping overlapping 4K mappings not detected")
+	}
+}
+
+func TestCheckInvariantsDetectsPageTableLeak(t *testing.T) {
+	as, _, _ := corruptibleSpace(t)
+	as.PageTableBytes += memsys.PageSize // phantom paging-structure page
+	if err := as.CheckInvariants(); err == nil {
+		t.Fatal("PageTableBytes drift not detected")
+	}
+}

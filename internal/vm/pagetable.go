@@ -1,8 +1,7 @@
 package vm
 
 import (
-	"fmt"
-
+	"graphmem/internal/check"
 	"graphmem/internal/memsys"
 )
 
@@ -34,7 +33,7 @@ func (as *AddressSpace) ensureRootTables() {
 func (as *AddressSpace) allocPTFrame(kind string) memsys.Frame {
 	f := as.mem.Alloc(0, memsys.Unmovable, nil, 0)
 	if f == memsys.NoFrame {
-		panic(fmt.Sprintf("vm: out of memory allocating %s page table page", kind))
+		panic(check.Failf("vm: out of memory allocating %s page table page", kind))
 	}
 	as.PageTableBytes += memsys.PageSize
 	return f
@@ -88,7 +87,7 @@ func (as *AddressSpace) teardownVMATables(v *VMA) {
 func (as *AddressSpace) WalkEntryAddrs(va uint64, size PageSizeClass) (addrs [4]uint64, n int) {
 	v := as.FindVMA(va)
 	if v == nil || v.ptFrames == nil && size == Page4K {
-		panic("vm: WalkEntryAddrs without simulated page tables")
+		panic(check.Failf("vm: WalkEntryAddrs without simulated page tables"))
 	}
 	idx := func(f memsys.Frame, shift uint) uint64 {
 		return uint64(f)<<memsys.PageShift + ((va>>shift)&511)*8

@@ -8,9 +8,9 @@
 package vm
 
 import (
-	"fmt"
 	"sort"
 
+	"graphmem/internal/check"
 	"graphmem/internal/memsys"
 )
 
@@ -230,7 +230,7 @@ func (as *AddressSpace) Mem() *memsys.Memory { return as.mem }
 // demand-paged: no physical memory is allocated until pages fault in.
 func (as *AddressSpace) Mmap(name string, bytes uint64) *VMA {
 	if bytes == 0 {
-		panic("vm: zero-length mmap")
+		panic(check.Failf("vm: zero-length mmap"))
 	}
 	pages := int((bytes + memsys.PageSize - 1) / memsys.PageSize)
 	regions := (pages + RegionPages - 1) / RegionPages
@@ -268,7 +268,7 @@ func (as *AddressSpace) Mmap(name string, bytes uint64) *VMA {
 // Munmap destroys a VMA, freeing all backing frames.
 func (as *AddressSpace) Munmap(v *VMA) {
 	if v.dead {
-		panic("vm: munmap of dead VMA")
+		panic(check.Failf("vm: munmap of dead VMA"))
 	}
 	for r, hf := range v.huge {
 		if hf != memsys.NoFrame {
@@ -360,7 +360,7 @@ func (as *AddressSpace) Translate(va uint64) (Translation, *FaultInfo, bool) {
 // here.
 func (as *AddressSpace) MapBase(v *VMA, p int, f memsys.Frame) {
 	if v.base[p] != memsys.NoFrame || v.huge[p/RegionPages] != memsys.NoFrame {
-		panic(fmt.Sprintf("vm: MapBase over existing mapping %s page %d", v.Name, p))
+		panic(check.Failf("vm: MapBase over existing mapping %s page %d", v.Name, p))
 	}
 	if v.swap[p] {
 		v.swap[p] = false
@@ -375,10 +375,10 @@ func (as *AddressSpace) MapBase(v *VMA, p int, f memsys.Frame) {
 // existing 4K mappings within the region must have been removed first.
 func (as *AddressSpace) MapHuge(v *VMA, r int, hf memsys.Frame) {
 	if v.huge[r] != memsys.NoFrame {
-		panic("vm: MapHuge over existing huge mapping")
+		panic(check.Failf("vm: MapHuge over existing huge mapping"))
 	}
 	if v.present4k[r] != 0 {
-		panic("vm: MapHuge with 4K pages still present in region")
+		panic(check.Failf("vm: MapHuge with 4K pages still present in region"))
 	}
 	lo, hi := r*RegionPages, (r+1)*RegionPages
 	for p := lo; p < hi && p < v.Pages; p++ {
@@ -396,7 +396,7 @@ func (as *AddressSpace) MapHuge(v *VMA, r int, hf memsys.Frame) {
 func (as *AddressSpace) UnmapBase(v *VMA, p int) memsys.Frame {
 	f := v.base[p]
 	if f == memsys.NoFrame {
-		panic("vm: UnmapBase of unmapped page")
+		panic(check.Failf("vm: UnmapBase of unmapped page"))
 	}
 	v.base[p] = memsys.NoFrame
 	v.present4k[p/RegionPages]--
@@ -410,7 +410,7 @@ func (as *AddressSpace) UnmapBase(v *VMA, p int) memsys.Frame {
 func (as *AddressSpace) DemoteHuge(v *VMA, r int) {
 	hf := v.huge[r]
 	if hf == memsys.NoFrame {
-		panic("vm: DemoteHuge of non-huge region")
+		panic(check.Failf("vm: DemoteHuge of non-huge region"))
 	}
 	v.huge[r] = memsys.NoFrame
 	as.mem.SplitAllocated(hf, memsys.HugeOrder)
@@ -436,15 +436,15 @@ func (as *AddressSpace) DemoteHuge(v *VMA, r int) {
 // FrameMoved redirects the mapping that used old to new (compaction).
 func (as *AddressSpace) FrameMoved(old, new memsys.Frame, cookie uint64) {
 	if cookie&cookieHuge != 0 {
-		panic("vm: compaction moved a huge page constituent")
+		panic(check.Failf("vm: compaction moved a huge page constituent"))
 	}
 	v := as.byID[uint32(cookie>>32)]
 	if v == nil {
-		panic("vm: FrameMoved for unknown VMA")
+		panic(check.Failf("vm: FrameMoved for unknown VMA"))
 	}
 	p := int(uint32(cookie))
 	if v.base[p] != old {
-		panic("vm: FrameMoved mapping mismatch")
+		panic(check.Failf("vm: FrameMoved mapping mismatch"))
 	}
 	v.base[p] = new
 	as.mem.SetOwner(new, as, cookie)

@@ -6,8 +6,9 @@
 package workload
 
 import (
-	"fmt"
+	"sort"
 
+	"graphmem/internal/check"
 	"graphmem/internal/memsys"
 )
 
@@ -79,7 +80,7 @@ type Memhog struct {
 func (h *Memhog) FrameMoved(old, new memsys.Frame, cookie uint64) {
 	i := int(cookie)
 	if i >= len(h.frames) || h.frames[i] != old {
-		panic("workload: memhog frame bookkeeping out of sync")
+		panic(check.Failf("workload: memhog frame bookkeeping out of sync"))
 	}
 	h.frames[i] = new
 }
@@ -110,7 +111,7 @@ func NewMemhog(mem *memsys.Memory, bytes uint64) *Memhog {
 		f++
 	}
 	if len(h.frames) < pages {
-		panic(fmt.Sprintf("workload: memhog pinned only %d/%d pages", len(h.frames), pages))
+		panic(check.Failf("workload: memhog pinned only %d/%d pages", len(h.frames), pages))
 	}
 	return h
 }
@@ -194,8 +195,17 @@ func (pc *PageCache) Fill(bytes uint64) uint64 {
 
 // Drop explicitly releases the whole cache (the paper's
 // /proc/sys/vm/drop_caches, or the effect of tmpfs on the remote node).
+// Frames are freed in ascending address order: freeing straight out of
+// the map would release them in Go's randomized iteration order, which
+// leaves identical buddy state but nondeterministic allocator hint
+// positions and Free-call ordering (simlint SL003).
 func (pc *PageCache) Drop() {
+	frames := make([]memsys.Frame, 0, len(pc.frames))
 	for f := range pc.frames {
+		frames = append(frames, f)
+	}
+	sort.Slice(frames, func(a, b int) bool { return frames[a] < frames[b] })
+	for _, f := range frames {
 		pc.mem.Free(f, 0)
 	}
 	pc.frames = make(map[memsys.Frame]struct{})
@@ -209,7 +219,7 @@ func (pc *PageCache) ResidentBytes() uint64 {
 // FrameMoved implements memsys.Owner; page cache pages are not movable
 // in this model, so it must never fire.
 func (pc *PageCache) FrameMoved(old, new memsys.Frame, cookie uint64) {
-	panic("workload: page cache frame moved")
+	panic(check.Failf("workload: page cache frame moved"))
 }
 
 // FrameReclaimed implements memsys.Owner: cache pages are always
@@ -248,7 +258,7 @@ type Churner struct {
 func (c *Churner) FrameMoved(old, new memsys.Frame, cookie uint64) {
 	i := int(cookie)
 	if i >= len(c.frames) || c.frames[i] != old {
-		panic("workload: churner frame bookkeeping out of sync")
+		panic(check.Failf("workload: churner frame bookkeeping out of sync"))
 	}
 	c.frames[i] = new
 }

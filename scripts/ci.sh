@@ -1,0 +1,42 @@
+#!/bin/sh
+# ci.sh — the full verification gate, in dependency order:
+#
+#   1. gofmt            formatting drift
+#   2. go vet           stdlib static checks
+#   3. simlint          project determinism rules (SL001..SL005)
+#   4. go build         both build-tag variants compile
+#   5. go test -race    full suite under the race detector
+#   6. go test -tags simcheck ./internal/...
+#                       suite again with runtime invariant audits live
+#                       (buddy allocator, TLB arrays, VM accounting)
+#
+# Run from the repository root: ./scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== simlint"
+go run ./cmd/simlint ./...
+
+echo "== build (default and simcheck)"
+go build ./...
+go build -tags simcheck ./...
+
+echo "== test -race"
+go test -race ./...
+
+echo "== test -tags simcheck (runtime audits live)"
+go test -tags simcheck ./internal/...
+
+echo "CI PASS"
