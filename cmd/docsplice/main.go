@@ -1,9 +1,29 @@
 // Command docsplice injects measured experiment tables into the
-// commentary document: every `<!-- TABLE:id -->` marker in the input
-// markdown is replaced by the rendered tables of that experiment from an
-// expdriver text output.
+// commentary document. Measured blocks are delimited by marker pairs
 //
-//	go run ./cmd/docsplice -doc EXPERIMENTS.md -results results/expdriver_full.txt -o EXPERIMENTS.md
+//	<!-- TABLE:id -->
+//	```
+//	... rendered tables ...
+//	```
+//	<!-- /TABLE:id -->
+//
+// and splicing replaces everything between a pair with the experiment's
+// tables from an expdriver text output, keeping the markers — so the
+// operation is idempotent and re-splicing after a fresh campaign updates
+// the document in place. A legacy bare `<!-- TABLE:id -->` marker (no
+// end marker) expands into the bracketed form on first splice.
+//
+// Markers that do not match the results file — an id with no rendered
+// section, or an end marker with no begin — are an error: docsplice
+// lists every unmatched marker and exits non-zero without writing
+// anything, instead of silently leaving stale prose in the document.
+//
+//	go run ./cmd/docsplice -doc EXPERIMENTS.md -results results/expdriver_full.txt
+//	go run ./cmd/docsplice -doc EXPERIMENTS.md -results results/expdriver_full.txt -check
+//
+// -check verifies without writing: it exits non-zero if any measured
+// block differs from the results file (CI runs this to keep
+// EXPERIMENTS.md in sync with results/).
 package main
 
 import (
@@ -17,6 +37,7 @@ func main() {
 	doc := flag.String("doc", "EXPERIMENTS.md", "markdown with <!-- TABLE:id --> markers")
 	res := flag.String("results", "results/expdriver_full.txt", "expdriver text output")
 	out := flag.String("o", "", "output path (default: overwrite -doc)")
+	check := flag.Bool("check", false, "verify the doc is up to date; write nothing")
 	flag.Parse()
 	if *out == "" {
 		*out = *doc
@@ -32,30 +53,136 @@ func main() {
 	}
 
 	tables := parseResults(string(resBytes))
-	text := string(docBytes)
-	missing := 0
-	for id, body := range tables {
-		marker := fmt.Sprintf("<!-- TABLE:%s -->", id)
-		if strings.Contains(text, marker) {
-			text = strings.ReplaceAll(text, marker, "```\n"+strings.TrimRight(body, "\n")+"\n```")
-		}
+	text, changed, err := splice(string(docBytes), tables)
+	if err != nil {
+		fatal(err)
 	}
-	for _, line := range strings.Split(text, "\n") {
-		if strings.Contains(line, "<!-- TABLE:") {
-			fmt.Fprintf(os.Stderr, "docsplice: unresolved marker: %s\n", strings.TrimSpace(line))
-			missing++
+
+	if *check {
+		if len(changed) > 0 {
+			fmt.Fprintf(os.Stderr, "docsplice: %s is stale (blocks differ from %s): %s\n",
+				*doc, *res, strings.Join(changed, ", "))
+			fmt.Fprintln(os.Stderr, "docsplice: re-run docsplice to update it")
+			os.Exit(1)
 		}
+		fmt.Printf("docsplice: %s is up to date (%d measured blocks)\n", *doc, countBlocks(text))
+		return
 	}
+
 	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("docsplice: wrote %s (%d experiments available, %d markers unresolved)\n",
-		*out, len(tables), missing)
+	fmt.Printf("docsplice: wrote %s (%d experiments available, %d blocks updated)\n",
+		*out, len(tables), len(changed))
+}
+
+// countBlocks counts the begin markers in a document (prose that merely
+// mentions a marker mid-line does not count).
+func countBlocks(text string) int {
+	n := 0
+	for _, line := range strings.Split(text, "\n") {
+		if _, ok := beginID(line); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// markerID extracts the id if line is exactly a begin or end marker
+// (surrounding whitespace ignored).
+func markerID(line, prefix string) (string, bool) {
+	t := strings.TrimSpace(line)
+	if !strings.HasPrefix(t, prefix) || !strings.HasSuffix(t, "-->") {
+		return "", false
+	}
+	id := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(t, prefix), "-->"))
+	if id == "" || strings.ContainsAny(id, " \t") {
+		return "", false
+	}
+	return id, true
+}
+
+func beginID(line string) (string, bool) { return markerID(line, "<!-- TABLE:") }
+func endID(line string) (string, bool)   { return markerID(line, "<!-- /TABLE:") }
+
+// splice replaces every measured block in doc with the corresponding
+// experiment body from tables, returning the new text and the ids of
+// blocks whose content changed. Unmatched markers — a begin marker whose
+// id has no section in tables, or an end marker with no begin — abort
+// the splice with an error listing all of them.
+func splice(doc string, tables map[string]string) (string, []string, error) {
+	lines := strings.Split(doc, "\n")
+	var out []string
+	var changed, unmatched []string
+
+	for i := 0; i < len(lines); i++ {
+		line := lines[i]
+		if id, ok := endID(line); ok {
+			unmatched = append(unmatched, fmt.Sprintf("<!-- /TABLE:%s --> without begin (line %d)", id, i+1))
+			continue
+		}
+		id, ok := beginID(line)
+		if !ok {
+			out = append(out, line)
+			continue
+		}
+
+		// Find the matching end marker; stop at the next begin marker so a
+		// legacy bare marker does not swallow the following block.
+		end := -1
+		for j := i + 1; j < len(lines); j++ {
+			if _, isBegin := beginID(lines[j]); isBegin {
+				break
+			}
+			if eid, isEnd := endID(lines[j]); isEnd {
+				if eid == id {
+					end = j
+				} else {
+					unmatched = append(unmatched,
+						fmt.Sprintf("<!-- /TABLE:%s --> closing <!-- TABLE:%s --> (line %d)", eid, id, j+1))
+				}
+				break
+			}
+		}
+
+		body, have := tables[id]
+		if !have {
+			unmatched = append(unmatched, fmt.Sprintf("<!-- TABLE:%s --> has no section in the results file (line %d)", id, i+1))
+			if end >= 0 {
+				i = end
+			}
+			continue
+		}
+
+		block := []string{
+			fmt.Sprintf("<!-- TABLE:%s -->", id),
+			"```",
+			strings.TrimRight(body, "\n"),
+			"```",
+			fmt.Sprintf("<!-- /TABLE:%s -->", id),
+		}
+		if end >= 0 {
+			old := strings.Join(lines[i:end+1], "\n")
+			if old != strings.Join(block, "\n") {
+				changed = append(changed, id)
+			}
+			i = end
+		} else {
+			changed = append(changed, id) // legacy bare marker: always an expansion
+		}
+		out = append(out, block...)
+	}
+
+	if len(unmatched) > 0 {
+		return "", nil, fmt.Errorf("unmatched markers:\n  %s", strings.Join(unmatched, "\n  "))
+	}
+	return strings.Join(out, "\n"), changed, nil
 }
 
 // parseResults splits an expdriver text dump into per-experiment bodies:
 // each section starts with "### <id> (" and contains one or more
-// rendered tables.
+// rendered tables. A trailing "completed ..." summary line (legacy dumps
+// captured it from stdout) terminates the last section.
 func parseResults(s string) map[string]string {
 	tables := make(map[string]string)
 	lines := strings.Split(s, "\n")

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func readFixture(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestParseResults(t *testing.T) {
+	tables := parseResults(readFixture(t, "results.txt"))
+	if len(tables) != 2 {
+		t.Fatalf("parsed %d sections, want 2: %v", len(tables), tables)
+	}
+	if !strings.Contains(tables["fig1"], "1.412") {
+		t.Errorf("fig1 section missing table body: %q", tables["fig1"])
+	}
+	if !strings.HasSuffix(tables["fig2"], "\n") {
+		t.Errorf("section body should be newline-terminated: %q", tables["fig2"])
+	}
+}
+
+// TestSpliceFixture exercises both marker forms: fig1 is a bracketed
+// pair whose stale body gets replaced, fig2 a legacy bare marker that
+// expands into the bracketed form.
+func TestSpliceFixture(t *testing.T) {
+	tables := parseResults(readFixture(t, "results.txt"))
+	got, changed, err := splice(readFixture(t, "doc.md"), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := readFixture(t, "want.md"); got != want {
+		t.Errorf("spliced doc mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if len(changed) != 2 {
+		t.Errorf("changed = %v, want [fig1 fig2]", changed)
+	}
+}
+
+// TestSpliceIdempotent: re-splicing the up-to-date doc changes nothing
+// and reports no changed blocks — the property -check relies on.
+func TestSpliceIdempotent(t *testing.T) {
+	tables := parseResults(readFixture(t, "results.txt"))
+	want := readFixture(t, "want.md")
+	got, changed, err := splice(want, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("re-splice altered an up-to-date doc:\n%s", got)
+	}
+	if len(changed) != 0 {
+		t.Errorf("re-splice reported changed blocks: %v", changed)
+	}
+}
+
+func TestSpliceUnmatchedMarkers(t *testing.T) {
+	tables := parseResults(readFixture(t, "results.txt"))
+
+	cases := []struct {
+		name string
+		doc  string
+		want []string // substrings the error must mention
+	}{
+		{"unknown id", "<!-- TABLE:fig99 -->\n", []string{"fig99", "no section"}},
+		{"stray end", "prose\n<!-- /TABLE:fig1 -->\n", []string{"/TABLE:fig1", "without begin"}},
+		{"mismatched pair", "<!-- TABLE:fig1 -->\nx\n<!-- /TABLE:fig2 -->\n", []string{"/TABLE:fig2", "closing"}},
+		{"several", "<!-- TABLE:fig98 -->\n<!-- TABLE:fig99 -->\n", []string{"fig98", "fig99"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := splice(tc.doc, tables)
+			if err == nil {
+				t.Fatal("splice accepted a doc with unmatched markers")
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q does not mention %q", err, w)
+				}
+			}
+		})
+	}
+}
+
+// TestSpliceDetectsStaleBlock: a block whose content differs from the
+// results file is reported in changed, which is what -check turns into
+// a non-zero exit.
+func TestSpliceDetectsStaleBlock(t *testing.T) {
+	tables := parseResults(readFixture(t, "results.txt"))
+	doc := "<!-- TABLE:fig1 -->\n```\nold\n```\n<!-- /TABLE:fig1 -->\n"
+	_, changed, err := splice(doc, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != "fig1" {
+		t.Errorf("changed = %v, want [fig1]", changed)
+	}
+}

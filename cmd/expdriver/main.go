@@ -4,7 +4,14 @@
 //
 // Usage:
 //
-//	expdriver [-scale full|bench|test] [-exp fig1,fig10,...] [-out results.md] [-v]
+//	expdriver [-scale full|bench|test] [-exp fig1,fig10,...] [-j N] [-out results.md] [-v]
+//
+// -j runs the campaign's simulation cells on N workers (0 = all CPUs).
+// Parallelism changes wall-clock time only: stdout, the markdown file,
+// and the CSV tables are byte-identical for every worker count, because
+// each cell is a pure function of its configuration and rendering is
+// sequential in registry order (see DESIGN.md §5). Timing and progress
+// go to stderr, keeping stdout comparable across runs.
 //
 // A full-scale run of all experiments takes tens of minutes on one core;
 // -scale bench completes in a few minutes at reduced fidelity.
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,7 +35,8 @@ func main() {
 	expIDs := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	outPath := flag.String("out", "", "write markdown tables to this file")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
-	verbose := flag.Bool("v", false, "log each simulation run")
+	workers := flag.Int("j", 1, "parallel simulation workers (0 = all CPUs)")
+	verbose := flag.Bool("v", false, "log per-worker progress for each simulation cell")
 	listOnly := flag.Bool("list", false, "list experiments and exit")
 	priters := flag.Int("pr-iters", 3, "PageRank iteration cap")
 	flag.Parse()
@@ -52,9 +61,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *workers == 0 {
+		*workers = runtime.NumCPU()
+	}
+
 	var log io.Writer
+	opt := exp.CampaignOptions{Workers: *workers}
 	if *verbose {
 		log = os.Stderr
+		opt.Progress = func(worker, done, total int, cell string) {
+			fmt.Fprintf(os.Stderr, "[w%d] %d/%d %s\n", worker, done, total, cell)
+		}
 	}
 	s := exp.NewSuite(sc, log)
 	s.PRMaxIters = *priters
@@ -65,35 +82,39 @@ func main() {
 	}
 
 	start := time.Now()
-	results, err := exp.RunAndRender(s, ids, os.Stdout)
+	results, err := exp.RunCampaign(s, ids, opt, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\ncompleted %d experiments (%d distinct simulation runs) in %s\n",
-		len(results), s.CachedRunCount(), time.Since(start).Round(time.Second))
+	fmt.Fprintf(os.Stderr, "\ncompleted %d experiments (%d distinct simulation runs, %d workers) in %s\n",
+		len(results), s.CachedRunCount(), *workers, time.Since(start).Round(time.Second))
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
 			os.Exit(1)
 		}
-		for id, tables := range results {
+		for _, e := range exp.Registry {
+			tables, ok := results[e.ID]
+			if !ok {
+				continue
+			}
 			for i, t := range tables {
-				name := fmt.Sprintf("%s/%s_%d.csv", *csvDir, id, i)
+				name := fmt.Sprintf("%s/%s_%d.csv", *csvDir, e.ID, i)
 				if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
 					fmt.Fprintf(os.Stderr, "expdriver: writing %s: %v\n", name, err)
 					os.Exit(1)
 				}
 			}
 		}
-		fmt.Printf("CSV tables written to %s/\n", *csvDir)
+		fmt.Fprintf(os.Stderr, "CSV tables written to %s/\n", *csvDir)
 	}
 
 	if *outPath != "" {
 		var b strings.Builder
-		fmt.Fprintf(&b, "# graphmem experiment results\n\nscale=%s, runs=%d, generated in %s\n\n",
-			*scale, s.CachedRunCount(), time.Since(start).Round(time.Second))
+		fmt.Fprintf(&b, "# graphmem experiment results\n\nscale=%s, runs=%d\n\n",
+			*scale, s.CachedRunCount())
 		for _, e := range exp.Registry {
 			tables, ok := results[e.ID]
 			if !ok {
@@ -109,6 +130,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "expdriver: writing %s: %v\n", *outPath, err)
 			os.Exit(1)
 		}
-		fmt.Printf("markdown written to %s\n", *outPath)
+		fmt.Fprintf(os.Stderr, "markdown written to %s\n", *outPath)
 	}
 }

@@ -13,7 +13,11 @@
 //     expensive structural audit (buddy allocator, TLB, address space)
 //     at policy-decision boundaries. Without the tag, Enabled is a
 //     false constant and the compiler removes the audit calls entirely,
-//     so the hot path pays nothing in normal builds.
+//     so the hot path pays nothing in normal builds. The campaign
+//     scheduler audits through the same hook: sched.Pool verifies task
+//     conservation at every barrier, and exp.Suite verifies its promise
+//     caches quiesced (every installed promise resolved) after each
+//     campaign phase.
 package check
 
 import "fmt"

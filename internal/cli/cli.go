@@ -1,6 +1,11 @@
 // Package cli holds the small parsing helpers shared by the command-line
 // tools: resolving dataset / scale / app / policy / reorder names to
 // library values, with uniform error messages.
+//
+// It sits outside the simulation path — parsing happens once per
+// process, before any machine is built — so it carries none of the
+// determinism obligations simlint enforces on simulator packages, only
+// the convention that unknown names list the known ones in the error.
 package cli
 
 import (

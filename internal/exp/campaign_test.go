@@ -1,0 +1,239 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"graphmem/internal/analytics"
+	"graphmem/internal/gen"
+	"graphmem/internal/reorder"
+)
+
+// renderAll runs the full campaign on n workers at the given scale and
+// returns every byte surface expdriver exposes — streamed text, the
+// markdown tables, and the CSV tables, all in registry order — plus the
+// distinct-run count (which the markdown header embeds).
+func renderAll(t *testing.T, scale gen.Scale, ids []string, workers int) (text, markdown, csv string, runs int) {
+	t.Helper()
+	s := NewSuite(scale, nil)
+	s.PRMaxIters = 2
+	var out strings.Builder
+	res, err := RunCampaign(s, ids, CampaignOptions{Workers: workers}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var md, cs strings.Builder
+	for _, e := range Registry {
+		tables, ok := res[e.ID]
+		if !ok {
+			continue
+		}
+		for i, tb := range tables {
+			md.WriteString(tb.Markdown())
+			fmt.Fprintf(&cs, "-- %s_%d --\n%s", e.ID, i, tb.CSV())
+		}
+	}
+	return out.String(), md.String(), cs.String(), s.CachedRunCount()
+}
+
+// TestCampaignDeterministicAcrossWorkers is the tentpole regression
+// test: the full registry, rendered through every output surface, must
+// be byte-identical for every worker count.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry several times")
+	}
+	if raceEnabled {
+		t.Skip("several full-registry passes overrun the race-instrumented timeout; TestPromiseCacheUnderRace covers the concurrency")
+	}
+	refText, refMD, refCSV, refRuns := renderAll(t, gen.ScaleTest, nil, 1)
+	for _, workers := range []int{2, 4, 8} {
+		text, md, csv, runs := renderAll(t, gen.ScaleTest, nil, workers)
+		if runs != refRuns {
+			t.Errorf("-j %d executed %d distinct runs, -j 1 executed %d", workers, runs, refRuns)
+		}
+		if text != refText {
+			t.Errorf("-j %d text output differs from -j 1 (%d vs %d bytes)", workers, len(text), len(refText))
+		}
+		if md != refMD {
+			t.Errorf("-j %d markdown differs from -j 1", workers)
+		}
+		if csv != refCSV {
+			t.Errorf("-j %d CSV differs from -j 1", workers)
+		}
+	}
+}
+
+// TestCampaignDeterministicAtBenchScale is the committed bench-scale
+// assertion from the acceptance criteria, on an experiment subset to
+// bound runtime: -j 1 and -j 4 must agree byte-for-byte.
+func TestCampaignDeterministicAtBenchScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale simulation")
+	}
+	if raceEnabled {
+		t.Skip("bench-scale under race instrumentation is too slow")
+	}
+	ids := []string{"fig5", "pagecache"}
+	text1, md1, csv1, runs1 := renderAll(t, gen.ScaleBench, ids, 1)
+	text4, md4, csv4, runs4 := renderAll(t, gen.ScaleBench, ids, 4)
+	if runs1 != runs4 {
+		t.Errorf("distinct runs: -j 1 %d, -j 4 %d", runs1, runs4)
+	}
+	if text1 != text4 || md1 != md4 || csv1 != csv4 {
+		t.Errorf("bench-scale output differs between -j 1 and -j 4 (text %v, md %v, csv %v)",
+			text1 == text4, md1 == md4, csv1 == csv4)
+	}
+}
+
+// TestCampaignProgressAccounting checks the Progress callback: done
+// counts each frontier cell exactly once and worker indices stay in
+// range.
+func TestCampaignProgressAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campaign")
+	}
+	const workers = 3
+	s := testSuite()
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	total := -1
+	opt := CampaignOptions{Workers: workers, Progress: func(worker, done, tot int, cell string) {
+		mu.Lock()
+		defer mu.Unlock()
+		if worker < 0 || worker >= workers {
+			t.Errorf("worker index %d outside [0,%d)", worker, workers)
+		}
+		if seen[done] {
+			t.Errorf("done=%d reported twice", done)
+		}
+		seen[done] = true
+		total = tot
+		if cell == "" {
+			t.Error("empty cell label")
+		}
+	}}
+	if _, err := RunCampaign(s, []string{"fig4", "fig5"}, opt, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != total {
+		t.Errorf("progress reported %d cells, frontier total %d", len(seen), total)
+	}
+}
+
+func TestCampaignUnknownExperiment(t *testing.T) {
+	s := testSuite()
+	if _, err := RunCampaign(s, []string{"nope"}, CampaignOptions{Workers: 2}, &strings.Builder{}); err == nil {
+		t.Fatal("campaign accepted an unknown experiment id")
+	}
+}
+
+// TestPromiseCacheUnderRace hammers the suite's promise caches with
+// duplicate cell requests from many goroutines — the run and graph
+// caches must compute once per key and hand every requester the
+// identical pointer. This test is the designated -race exercise for the
+// suite (the full-campaign determinism tests skip under race).
+func TestPromiseCacheUnderRace(t *testing.T) {
+	s := testSuite()
+	cfgs := []runCfg{
+		baselineCfg(analytics.BFS, gen.Wiki),
+		baselineCfg(analytics.PR, gen.Wiki),
+		s.fig6Cfg(analytics.Natural),
+	}
+	const dup = 8
+	got := make([]map[string]interface{}, dup)
+	var wg sync.WaitGroup
+	for i := 0; i < dup; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := make(map[string]interface{})
+			for _, c := range cfgs {
+				m["run:"+c.key()] = s.run(c)
+			}
+			m["graph"] = s.graph(gen.Wiki, false, reorder.DBG)
+			got[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < dup; i++ {
+		for k, v := range got[0] {
+			if got[i][k] != v {
+				t.Fatalf("goroutine %d saw a different pointer for %s", i, k)
+			}
+		}
+	}
+	if n := s.CachedRunCount(); n != len(cfgs) {
+		t.Errorf("CachedRunCount = %d, want %d (duplicates must collapse)", n, len(cfgs))
+	}
+	if err := s.CheckInvariants(true); err != nil {
+		t.Error(err)
+	}
+}
+
+// keySet reduces a cell list to its set of memo keys.
+func keySet(cells []runCfg) map[string]bool {
+	set := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		set[c.key()] = true
+	}
+	return set
+}
+
+func sortedKeys(m map[string]bool) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// TestCellsMatchRuns proves every experiment's declared frontier equals
+// the set of cells its Run method actually requests — the invariant that
+// makes campaign run counts (and the parallel speedup) independent of
+// worker count. Experiments with nil Cells must either request nothing
+// through the suite (table1, table2) or run entirely outside the cell
+// space (ext-grid simulates ad-hoc graphs directly).
+func TestCellsMatchRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range Registry {
+		t.Run(e.ID, func(t *testing.T) {
+			s := testSuite()
+			var declared map[string]bool
+			if e.Cells != nil {
+				declared = keySet(e.Cells(s))
+			}
+			requested := make(map[string]bool)
+			var mu sync.Mutex
+			s.onRun = func(c runCfg) {
+				mu.Lock()
+				requested[c.key()] = true
+				mu.Unlock()
+			}
+			e.Run(s)
+			if e.Cells == nil {
+				if len(requested) != 0 {
+					t.Errorf("nil Cells but Run requested %d cells:\n  %s",
+						len(requested), strings.Join(sortedKeys(requested), "\n  "))
+				}
+				return
+			}
+			for _, k := range sortedKeys(declared) {
+				if !requested[k] {
+					t.Errorf("declared but never requested: %s", k)
+				}
+			}
+			for _, k := range sortedKeys(requested) {
+				if !declared[k] {
+					t.Errorf("requested but not declared (would serialize into the render phase): %s", k)
+				}
+			}
+		})
+	}
+}

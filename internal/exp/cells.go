@@ -1,0 +1,290 @@
+package exp
+
+// This file declares, for each experiment, the simulation cells its Run
+// method requests — the campaign frontier RunCampaign fans over the
+// scheduler. Each declaration mirrors its experiment's configuration
+// loops exactly; TestCellsMatchRuns proves the mirror is faithful (the
+// declared set equals the requested set), so a cell added to an
+// experiment without a matching declaration fails the suite instead of
+// silently serializing.
+
+import (
+	"graphmem/internal/analytics"
+	"graphmem/internal/core"
+	"graphmem/internal/gen"
+	"graphmem/internal/reorder"
+)
+
+// appDS invokes fn over the paper's full app × dataset matrix in
+// presentation order.
+func appDS(fn func(app analytics.App, ds gen.Dataset)) {
+	for _, app := range analytics.AllApps {
+		for _, ds := range gen.AllDatasets {
+			fn(app, ds)
+		}
+	}
+}
+
+func (s *Suite) fig1Cells() []runCfg {
+	var cells []runCfg
+	appDS(func(app analytics.App, ds gen.Dataset) {
+		env := s.envPressured(app, ds, highPressureGB)
+		cells = append(cells,
+			baselineCfg(app, ds),
+			runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()},
+			runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: env},
+			runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.Base4K(), env: env})
+	})
+	return cells
+}
+
+// fig2Cells also serves Fig. 3: both figures read the same two runs per
+// configuration (the 4KB baseline and fresh-boot THP).
+func (s *Suite) fig2Cells() []runCfg {
+	var cells []runCfg
+	appDS(func(app analytics.App, ds gen.Dataset) {
+		cells = append(cells,
+			baselineCfg(app, ds),
+			runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()})
+	})
+	return cells
+}
+
+func (s *Suite) fig4Cells() []runCfg {
+	var cells []runCfg
+	for _, app := range analytics.AllApps {
+		cells = append(cells, baselineCfg(app, gen.Kron25))
+	}
+	return cells
+}
+
+func (s *Suite) fig5Cells() []runCfg {
+	var cells []runCfg
+	for _, ds := range gen.AllDatasets {
+		cells = append(cells, baselineCfg(analytics.BFS, ds))
+		for _, st := range []string{"vertex", "edge", "prop"} {
+			cells = append(cells, runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.PerStructure(st), env: core.FreshBoot()})
+		}
+		cells = append(cells, runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+			order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()})
+	}
+	return cells
+}
+
+func (s *Suite) fig6Cells() []runCfg {
+	return []runCfg{
+		s.fig6Cfg(analytics.Natural),
+		s.fig6Cfg(analytics.PropFirst),
+	}
+}
+
+func (s *Suite) fig7Cells() []runCfg {
+	var cells []runCfg
+	appDS(func(app analytics.App, ds gen.Dataset) {
+		env := s.envPressured(app, ds, highPressureGB)
+		cells = append(cells,
+			baselineCfg(app, ds),
+			runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()},
+			runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: env},
+			runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.PropFirst, policy: core.THPAlways(), env: env})
+	})
+	return cells
+}
+
+func (s *Suite) sweepCells() []runCfg {
+	levels := []float64{-0.5, 0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+	var cells []runCfg
+	for _, policy := range []core.Policy{core.Base4K(), core.THPAlways()} {
+		for _, ds := range gen.AllDatasets {
+			cells = append(cells, baselineCfg(analytics.BFS, ds))
+			for _, l := range levels {
+				cells = append(cells, runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+					order: analytics.Natural, policy: policy,
+					env: s.envPressured(analytics.BFS, ds, l)})
+			}
+		}
+	}
+	return cells
+}
+
+func (s *Suite) fig8Cells() []runCfg {
+	var cells []runCfg
+	appDS(func(app analytics.App, ds gen.Dataset) {
+		env := s.envFragmented(app, ds, lowPressureGB, 0.5)
+		cells = append(cells,
+			baselineCfg(app, ds),
+			runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()},
+			runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: env},
+			runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.PropFirst, policy: core.THPAlways(), env: env})
+	})
+	return cells
+}
+
+func (s *Suite) fig9Cells() []runCfg {
+	levels := []float64{0, 0.25, 0.5, 0.75}
+	var cells []runCfg
+	for _, ds := range gen.AllDatasets {
+		cells = append(cells, baselineCfg(analytics.BFS, ds))
+		for _, order := range []analytics.AllocOrder{analytics.Natural, analytics.PropFirst} {
+			for _, l := range levels {
+				cells = append(cells, runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+					order: order, policy: core.THPAlways(),
+					env: s.envFragmented(analytics.BFS, ds, lowPressureGB, l)})
+			}
+		}
+	}
+	return cells
+}
+
+func (s *Suite) fig10Cells() []runCfg {
+	var cells []runCfg
+	appDS(func(app analytics.App, ds gen.Dataset) {
+		env := s.envFragmented(app, ds, lowPressureGB, 0.5)
+		cells = append(cells,
+			baselineCfg(app, ds),
+			runCfg{app: app, ds: ds, method: reorder.DBG,
+				order: analytics.Natural, policy: core.Base4K(), env: env},
+			runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: env},
+			runCfg{app: app, ds: ds, method: reorder.DBG,
+				order: analytics.Natural, policy: core.THPAlways(), env: env},
+			runCfg{app: app, ds: ds, method: reorder.DBG,
+				order: analytics.Natural, policy: core.SelectiveTHP(0.5), env: env},
+			runCfg{app: app, ds: ds, method: reorder.DBG,
+				order: analytics.Natural, policy: core.SelectiveTHP(1.0), env: env})
+	})
+	return cells
+}
+
+func (s *Suite) fig11Cells() []runCfg {
+	selLevels := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	var cells []runCfg
+	for _, ds := range gen.AllDatasets {
+		cells = append(cells, baselineCfg(analytics.BFS, ds))
+		env := s.envFragmented(analytics.BFS, ds, lowPressureGB, 0.5)
+		for _, method := range []reorder.Method{reorder.Identity, reorder.DBG} {
+			for _, sel := range selLevels {
+				policy := core.Base4K()
+				if sel > 0 {
+					policy = core.SelectiveTHP(sel)
+				}
+				cells = append(cells, runCfg{app: analytics.BFS, ds: ds, method: method,
+					order: analytics.Natural, policy: policy, env: env})
+			}
+		}
+	}
+	return cells
+}
+
+func (s *Suite) dbgCells() []runCfg {
+	var cells []runCfg
+	appDS(func(app analytics.App, ds gen.Dataset) {
+		cells = append(cells, runCfg{app: app, ds: ds, method: reorder.DBG,
+			order: analytics.Natural, policy: core.SelectiveTHP(1.0),
+			env: s.envFragmented(app, ds, lowPressureGB, 0.5)})
+	})
+	return cells
+}
+
+func (s *Suite) headlineCells() []runCfg {
+	var cells []runCfg
+	appDS(func(app analytics.App, ds gen.Dataset) {
+		env := s.envFragmented(app, ds, lowPressureGB, 0.5)
+		cells = append(cells, baselineCfg(app, ds))
+		for _, method := range []reorder.Method{reorder.Identity, reorder.DBG} {
+			for _, pct := range []float64{0.5, 1.0} {
+				cells = append(cells, runCfg{app: app, ds: ds, method: method,
+					order: analytics.Natural, policy: core.SelectiveTHP(pct), env: env})
+			}
+		}
+		cells = append(cells,
+			runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: env},
+			runCfg{app: app, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()})
+	})
+	return cells
+}
+
+func (s *Suite) pagecacheCells() []runCfg {
+	var cells []runCfg
+	for _, ds := range gen.AllDatasets {
+		cells = append(cells, baselineCfg(analytics.BFS, ds))
+		env := s.envPressured(analytics.BFS, ds, 1.0)
+		cells = append(cells, runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+			order: analytics.Natural, policy: core.THPAlways(), env: env})
+		g := s.graph(ds, false, reorder.Identity).g
+		dirty := env
+		// The CSR files (vertex + edge arrays) pass through the cache.
+		dirty.PageCacheBytes = uint64(len(g.Offsets))*8 + uint64(g.NumEdges())*4
+		cells = append(cells, runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+			order: analytics.Natural, policy: core.THPAlways(), env: dirty})
+	}
+	return cells
+}
+
+func (s *Suite) baselinesCells() []runCfg {
+	var cells []runCfg
+	for _, ds := range gen.AllDatasets {
+		cells = append(cells, baselineCfg(analytics.BFS, ds))
+		env := s.envFragmented(analytics.BFS, ds, lowPressureGB, 0.5)
+		for _, policy := range []core.Policy{core.THPAlways(), core.IngensLike(), core.HawkEyeLike()} {
+			cells = append(cells, runCfg{app: analytics.BFS, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: policy, env: env})
+		}
+		cells = append(cells, runCfg{app: analytics.BFS, ds: ds, method: reorder.DBG,
+			order: analytics.Natural, policy: core.SelectiveTHP(0.5), env: env})
+	}
+	return cells
+}
+
+func (s *Suite) autoSelectiveCells() []runCfg {
+	var cells []runCfg
+	for _, ds := range gen.AllDatasets {
+		cells = append(cells, baselineCfg(analytics.BFS, ds))
+		env := s.envFragmented(analytics.BFS, ds, lowPressureGB, 0.5)
+		cells = append(cells, runCfg{app: analytics.BFS, ds: ds, method: reorder.DBG,
+			order: analytics.Natural, policy: core.SelectiveTHP(0.2), env: env})
+		// Budget the auto plan identically to manual sel-20: 20% of the
+		// property array (mirrors AutoSelective).
+		e := s.graph(ds, false, reorder.Identity)
+		budget := uint64(float64(e.g.N) * 8 * 0.2)
+		if budget < 2<<20 {
+			budget = 2 << 20
+		}
+		for _, method := range []reorder.Method{reorder.Identity, reorder.DBG} {
+			cells = append(cells, runCfg{app: analytics.BFS, ds: ds, method: method,
+				order: analytics.Natural, policy: core.AutoTHP(budget), env: env})
+		}
+	}
+	return cells
+}
+
+func (s *Suite) ccCells() []runCfg {
+	var cells []runCfg
+	for _, ds := range gen.AllDatasets {
+		cells = append(cells,
+			runCfg{app: analytics.CC, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.Base4K(), env: core.FreshBoot()},
+			runCfg{app: analytics.CC, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(), env: core.FreshBoot()},
+			runCfg{app: analytics.CC, ds: ds, method: reorder.Identity,
+				order: analytics.Natural, policy: core.THPAlways(),
+				env: s.envPressured(analytics.CC, ds, highPressureGB)},
+			runCfg{app: analytics.CC, ds: ds, method: reorder.DBG,
+				order: analytics.Natural, policy: core.SelectiveTHP(0.5),
+				env: s.envFragmented(analytics.CC, ds, lowPressureGB, 0.5)})
+	}
+	return cells
+}

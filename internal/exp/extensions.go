@@ -153,6 +153,21 @@ func (s *Suite) GridControl() []*stats.Table {
 	return []*stats.Table{t}
 }
 
+// fig6Cfg names one Fig. 6 cell: a pressured BFS/Kron run with the
+// huge-page-economy timeline sampled ~12 times across initialization
+// (interval from the expected init access count — WSS/64 cache lines
+// at tens of cycles each). Shared by Fig6 and its cell declaration.
+func (s *Suite) fig6Cfg(order analytics.AllocOrder) runCfg {
+	e := s.graph(gen.Kron25, false, reorder.Identity)
+	wss := analytics.WSSBytes(analytics.BFS, e.g)
+	return runCfg{
+		app: analytics.BFS, ds: gen.Kron25, method: reorder.Identity,
+		order: order, policy: core.THPAlways(),
+		env:         s.envPressured(analytics.BFS, gen.Kron25, highPressureGB),
+		sampleEvery: wss / 64 * 30 / 12,
+	}
+}
+
 // Fig6 reproduces the paper's Fig. 6 narrative with measured data: as
 // initialization streams the arrays in (natural order), the free 2MB
 // supply drains into the CSR arrays and runs out before the property
@@ -162,21 +177,7 @@ func (s *Suite) Fig6() []*stats.Table {
 	var tables []*stats.Table
 	for _, order := range []analytics.AllocOrder{analytics.Natural, analytics.PropFirst} {
 		e := s.graph(gen.Kron25, false, reorder.Identity)
-		spec := core.RunSpec{
-			Graph: e.g, App: analytics.BFS, Reorder: reorder.Identity,
-			Order: order, Policy: core.THPAlways(),
-			Env: s.envPressured(analytics.BFS, gen.Kron25, highPressureGB),
-			TLB: s.TLB,
-			Run: analytics.RunOptions{Root: e.root, PRMaxIters: s.PRMaxIters},
-		}
-		// ~12 samples across init: interval from the expected init
-		// access count (WSS/64 cache lines at tens of cycles each).
-		wss := analytics.WSSBytes(analytics.BFS, e.g)
-		spec.SampleSupplyEvery = wss / 64 * 30 / 12
-		r, err := core.Run(spec)
-		if err != nil {
-			panic(check.Failf("exp: %v", err))
-		}
+		r := s.run(s.fig6Cfg(order))
 		t := stats.NewTable(
 			fmt.Sprintf("Fig 6 (measured): huge page supply during init, %s order", order),
 			"sample", "free-2MB-blocks", "edge-huge", "prop-huge")

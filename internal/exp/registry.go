@@ -4,41 +4,56 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
+	"graphmem/internal/check"
+	"graphmem/internal/sched"
 	"graphmem/internal/stats"
 )
 
-// Experiment couples an id with its runner and description.
+// Experiment couples an id with its runner, its declared simulation
+// cells, and a description.
 type Experiment struct {
 	ID    string
 	Paper string // the paper artifact it reproduces
 	Desc  string
 	Run   func(*Suite) []*stats.Table
+
+	// Cells declares, up front, every simulation cell Run will request,
+	// so RunCampaign can fan the whole campaign frontier over a worker
+	// pool before any table is rendered. Nil means the experiment has
+	// no pre-declarable cells (it either performs no runs, or — like
+	// the grid control — simulates ad-hoc graphs outside the cell
+	// space) and simply computes during rendering. For experiments with
+	// a non-nil Cells, the declared list must equal the set of cells
+	// Run requests — TestCellsMatchRuns enforces the equality, which is
+	// also what makes run counts independent of the worker count.
+	Cells func(*Suite) []runCfg
 }
 
 // Registry lists every experiment in presentation order.
 var Registry = []Experiment{
-	{"table1", "Table 1", "simulated system parameters", (*Suite).Table1},
-	{"table2", "Table 2", "applications and inputs", (*Suite).Table2},
-	{"fig1", "Fig. 1", "THP speedup: fresh boot vs memory pressure", (*Suite).Fig1},
-	{"fig2", "Fig. 2", "address translation overhead share", (*Suite).Fig2},
-	{"fig3", "Fig. 3", "TLB miss rates, 4KB vs THP", (*Suite).Fig3},
-	{"fig4", "Fig. 4", "per-data-structure access breakdown", (*Suite).Fig4},
-	{"fig5", "Fig. 5", "per-structure madvise THP speedups (BFS)", (*Suite).Fig5},
-	{"fig6", "Fig. 6", "huge page supply timeline during initialization", (*Suite).Fig6},
-	{"fig7", "Fig. 7", "high pressure: natural vs optimized allocation order", (*Suite).Fig7},
-	{"sweep", "§4.3.1", "memory pressure sweep incl. oversubscription", (*Suite).PressureSweep},
-	{"fig8", "Fig. 8", "50% fragmentation: natural vs optimized order", (*Suite).Fig8},
-	{"fig9", "Fig. 9", "fragmentation level sweep (BFS)", (*Suite).Fig9},
-	{"fig10", "Fig. 10", "DBG + selective THP under pressure+frag", (*Suite).Fig10},
-	{"fig11", "Fig. 11", "selective THP sensitivity sweep (BFS)", (*Suite).Fig11},
-	{"dbg", "§5.1.2", "DBG preprocessing overhead", (*Suite).DBGOverhead},
-	{"headline", "Abstract", "headline metrics vs the paper's ranges", (*Suite).Headline},
-	{"pagecache", "§4.3", "page cache single-use memory interference", (*Suite).PageCache},
-	{"ext-baselines", "Related work", "Ingens/HawkEye-style engines vs selective THP", (*Suite).Baselines},
-	{"ext-auto", "§7 future work", "automatic profile-guided madvise plans", (*Suite).AutoSelective},
-	{"ext-cc", "§3.2", "Connected Components extension workload", (*Suite).CCWorkload},
-	{"ext-grid", "control", "road-network negative control", (*Suite).GridControl},
+	{"table1", "Table 1", "simulated system parameters", (*Suite).Table1, nil},
+	{"table2", "Table 2", "applications and inputs", (*Suite).Table2, nil},
+	{"fig1", "Fig. 1", "THP speedup: fresh boot vs memory pressure", (*Suite).Fig1, (*Suite).fig1Cells},
+	{"fig2", "Fig. 2", "address translation overhead share", (*Suite).Fig2, (*Suite).fig2Cells},
+	{"fig3", "Fig. 3", "TLB miss rates, 4KB vs THP", (*Suite).Fig3, (*Suite).fig2Cells},
+	{"fig4", "Fig. 4", "per-data-structure access breakdown", (*Suite).Fig4, (*Suite).fig4Cells},
+	{"fig5", "Fig. 5", "per-structure madvise THP speedups (BFS)", (*Suite).Fig5, (*Suite).fig5Cells},
+	{"fig6", "Fig. 6", "huge page supply timeline during initialization", (*Suite).Fig6, (*Suite).fig6Cells},
+	{"fig7", "Fig. 7", "high pressure: natural vs optimized allocation order", (*Suite).Fig7, (*Suite).fig7Cells},
+	{"sweep", "§4.3.1", "memory pressure sweep incl. oversubscription", (*Suite).PressureSweep, (*Suite).sweepCells},
+	{"fig8", "Fig. 8", "50% fragmentation: natural vs optimized order", (*Suite).Fig8, (*Suite).fig8Cells},
+	{"fig9", "Fig. 9", "fragmentation level sweep (BFS)", (*Suite).Fig9, (*Suite).fig9Cells},
+	{"fig10", "Fig. 10", "DBG + selective THP under pressure+frag", (*Suite).Fig10, (*Suite).fig10Cells},
+	{"fig11", "Fig. 11", "selective THP sensitivity sweep (BFS)", (*Suite).Fig11, (*Suite).fig11Cells},
+	{"dbg", "§5.1.2", "DBG preprocessing overhead", (*Suite).DBGOverhead, (*Suite).dbgCells},
+	{"headline", "Abstract", "headline metrics vs the paper's ranges", (*Suite).Headline, (*Suite).headlineCells},
+	{"pagecache", "§4.3", "page cache single-use memory interference", (*Suite).PageCache, (*Suite).pagecacheCells},
+	{"ext-baselines", "Related work", "Ingens/HawkEye-style engines vs selective THP", (*Suite).Baselines, (*Suite).baselinesCells},
+	{"ext-auto", "§7 future work", "automatic profile-guided madvise plans", (*Suite).AutoSelective, (*Suite).autoSelectiveCells},
+	{"ext-cc", "§3.2", "Connected Components extension workload", (*Suite).CCWorkload, (*Suite).ccCells},
+	{"ext-grid", "control", "road-network negative control", (*Suite).GridControl, nil},
 }
 
 // Find returns the experiment with the given id.
@@ -51,21 +66,99 @@ func Find(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAndRender executes the selected experiments (all when ids is
-// empty), streaming rendered text tables to out and returning the
-// tables keyed by experiment for further formatting.
-func RunAndRender(s *Suite, ids []string, out io.Writer) (map[string][]*stats.Table, error) {
-	selected := Registry
-	if len(ids) > 0 {
-		selected = nil
-		for _, id := range ids {
-			e, ok := Find(strings.TrimSpace(id))
-			if !ok {
-				return nil, fmt.Errorf("exp: unknown experiment %q (known: %s)", id, knownIDs())
+// selectExperiments resolves ids (all of Registry when empty) in
+// presentation order.
+func selectExperiments(ids []string) ([]Experiment, error) {
+	if len(ids) == 0 {
+		return Registry, nil
+	}
+	var selected []Experiment
+	for _, id := range ids {
+		e, ok := Find(strings.TrimSpace(id))
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown experiment %q (known: %s)", id, knownIDs())
+		}
+		selected = append(selected, e)
+	}
+	return selected, nil
+}
+
+// CampaignOptions configures RunCampaign.
+type CampaignOptions struct {
+	// Workers is the number of concurrent simulation workers (minimum
+	// 1). The campaign's rendered output is byte-identical for every
+	// value — parallelism only changes wall-clock time.
+	Workers int
+
+	// Progress, when non-nil, is invoked from worker goroutines as
+	// frontier cells finish: worker is the executing worker's index,
+	// done the number of cells completed so far, total the frontier
+	// size. Calls are serialized by the campaign.
+	Progress func(worker, done, total int, cell string)
+}
+
+// RunCampaign executes the selected experiments (all when ids is empty)
+// in three phases: declare (collect every experiment's cell list,
+// generating datasets through the graph promise cache), execute (fan
+// the deduplicated frontier over a sched.Pool of opt.Workers workers),
+// and render (run each experiment in registry order against the warmed
+// run cache, streaming text tables to out). Rendering consumes only
+// memoized, deterministic results, so the returned tables and
+// everything written to out are byte-identical for every worker count.
+func RunCampaign(s *Suite, ids []string, opt CampaignOptions, out io.Writer) (map[string][]*stats.Table, error) {
+	selected, err := selectExperiments(ids)
+	if err != nil {
+		return nil, err
+	}
+
+	pool := sched.NewPool(opt.Workers)
+	defer pool.Close()
+	auditSuite := func() { check.Audit("exp.suite", func() error { return s.CheckInvariants(true) }) }
+
+	// Phase 1 — declare. Cells functions request graphs through the
+	// promise cache, so dataset generation and reordering parallelize
+	// across experiments here.
+	cellLists := make([][]runCfg, len(selected))
+	for i, e := range selected {
+		if e.Cells == nil {
+			continue
+		}
+		pool.Go(func(int) { cellLists[i] = e.Cells(s) })
+	}
+	pool.Wait()
+	auditSuite()
+
+	// Phase 2 — execute. Dedup the frontier in declaration order and
+	// fan it out; duplicate requests that slip through (none, given the
+	// key dedup) would collapse onto one promise anyway.
+	seen := make(map[string]bool)
+	var frontier []runCfg
+	for _, cells := range cellLists {
+		for _, c := range cells {
+			if k := c.key(); !seen[k] {
+				seen[k] = true
+				frontier = append(frontier, c)
 			}
-			selected = append(selected, e)
 		}
 	}
+	var progressMu sync.Mutex
+	done := 0
+	for _, c := range frontier {
+		pool.Go(func(worker int) {
+			s.run(c)
+			if opt.Progress != nil {
+				progressMu.Lock()
+				done++
+				n := done
+				progressMu.Unlock()
+				opt.Progress(worker, n, len(frontier), c.label())
+			}
+		})
+	}
+	pool.Wait()
+	auditSuite()
+
+	// Phase 3 — render, sequentially in registry order.
 	results := make(map[string][]*stats.Table, len(selected))
 	for _, e := range selected {
 		fmt.Fprintf(out, "\n### %s (%s): %s\n", e.ID, e.Paper, e.Desc)
@@ -76,6 +169,14 @@ func RunAndRender(s *Suite, ids []string, out io.Writer) (map[string][]*stats.Ta
 		}
 	}
 	return results, nil
+}
+
+// RunAndRender executes the selected experiments (all when ids is
+// empty) single-threaded, streaming rendered text tables to out and
+// returning the tables keyed by experiment for further formatting. It
+// is RunCampaign with one worker.
+func RunAndRender(s *Suite, ids []string, out io.Writer) (map[string][]*stats.Table, error) {
+	return RunCampaign(s, ids, CampaignOptions{Workers: 1}, out)
 }
 
 func knownIDs() string {

@@ -19,7 +19,7 @@ func shapeSuite() *Suite {
 	return s
 }
 
-// TestPaperShape asserts DESIGN.md §5's validation targets — the
+// TestPaperShape asserts DESIGN.md §6's validation targets — the
 // qualitative claims of the paper — on the Kronecker BFS configuration.
 // It is the regression net for the whole model: if a change to the
 // allocator, policy engine, or cost model breaks any paper-shape

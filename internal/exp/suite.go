@@ -3,6 +3,16 @@
 // figures that share configurations (e.g. Figs. 1–3) reuse each other's
 // runs.
 //
+// Campaigns may execute their simulation cells in parallel: the suite's
+// run and graph memo tables are sched.Cache promise caches (first
+// requester computes, later requesters block on the same result), each
+// experiment declares its cell list up front via Experiment.Cells, and
+// RunCampaign fans the deduplicated frontier over a sched.Pool before
+// rendering tables sequentially in registry order. Because every cell
+// owns its machine and is a pure function of its RunSpec, campaign
+// output is byte-identical for every worker count — see DESIGN.md §5
+// for the protocol and the argument.
+//
 // Memory-pressure levels are specified in the paper's units (GB of
 // slack beyond the working set on their 3–25GB footprints) and scaled to
 // the simulated working set through Table 2's footprints, so "+0.5GB on
@@ -13,6 +23,7 @@ package exp
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"graphmem/internal/analytics"
 	"graphmem/internal/check"
@@ -20,6 +31,7 @@ import (
 	"graphmem/internal/gen"
 	"graphmem/internal/graph"
 	"graphmem/internal/reorder"
+	"graphmem/internal/sched"
 	"graphmem/internal/tlb"
 )
 
@@ -37,7 +49,10 @@ const (
 )
 
 // Suite runs experiments at a chosen scale, caching datasets (original
-// and reordered) and memoizing individual runs.
+// and reordered) and memoizing individual runs. A Suite is safe for
+// concurrent use by scheduler workers: both memo tables are promise
+// caches, so duplicate cell requests collapse onto one computation and
+// every requester receives the identical *core.RunResult.
 type Suite struct {
 	Scale gen.Scale
 	// PRMaxIters caps PageRank iterations. Every configuration of one
@@ -45,14 +60,23 @@ type Suite struct {
 	// unaffected; the cap only bounds simulation time.
 	PRMaxIters int
 	// Log receives progress lines (one per fresh run); nil silences.
+	// Writes are serialized by the suite, but under a parallel campaign
+	// their order reflects completion order, not registry order — only
+	// rendered tables carry the determinism guarantee.
 	Log io.Writer
 	// TLB optionally overrides the hardware TLB geometry for every run
 	// (zero value = the paper's Haswell hierarchy). Shape tests use a
 	// scaled hierarchy so bench-sized graphs exert full-sized pressure.
 	TLB tlb.Config
 
-	graphs map[graphKey]*graphEntry
-	runs   map[string]*core.RunResult
+	logMu  sync.Mutex
+	graphs sched.Cache[graphKey, *graphEntry]
+	runs   sched.Cache[string, *core.RunResult]
+
+	// onRun, when non-nil, observes every cell request (before
+	// memoization) — the hook the cells-coverage test uses to prove
+	// each experiment's declared frontier matches what it runs.
+	onRun func(runCfg)
 }
 
 // NewSuite constructs a suite. ScaleFull reproduces the paper's
@@ -62,8 +86,6 @@ func NewSuite(scale gen.Scale, log io.Writer) *Suite {
 		Scale:      scale,
 		PRMaxIters: 3,
 		Log:        log,
-		graphs:     make(map[graphKey]*graphEntry),
-		runs:       make(map[string]*core.RunResult),
 	}
 }
 
@@ -79,24 +101,28 @@ type graphEntry struct {
 	root uint32
 }
 
+// graph returns the cached dataset variant, generating (and for
+// non-identity methods, reordering) it on first request. The promise
+// cache recurses: a reordered variant's compute requests the identity
+// base, which is a different key, so two workers racing on DBG and
+// identity variants of one dataset still generate the base exactly
+// once.
 func (s *Suite) graph(ds gen.Dataset, weighted bool, method reorder.Method) *graphEntry {
 	k := graphKey{ds, weighted, method}
-	if e, ok := s.graphs[k]; ok {
-		return e
-	}
-	var e graphEntry
-	if method == reorder.Identity {
-		e.g = gen.Generate(ds, s.Scale, weighted)
-	} else {
-		base := s.graph(ds, weighted, reorder.Identity)
-		e.g, e.cost = reorder.Apply(base.g, method, 1)
-	}
-	e.root = e.g.MaxDegreeVertex()
-	s.graphs[k] = &e
-	return &e
+	return s.graphs.Get(k, func() *graphEntry {
+		var e graphEntry
+		if method == reorder.Identity {
+			e.g = gen.Generate(ds, s.Scale, weighted)
+		} else {
+			base := s.graph(ds, weighted, reorder.Identity)
+			e.g, e.cost = reorder.Apply(base.g, method, 1)
+		}
+		e.root = e.g.MaxDegreeVertex()
+		return &e
+	})
 }
 
-// runCfg names one full configuration.
+// runCfg names one full configuration (one campaign cell).
 type runCfg struct {
 	app    analytics.App
 	ds     gen.Dataset
@@ -104,48 +130,63 @@ type runCfg struct {
 	order  analytics.AllocOrder
 	policy core.Policy
 	env    core.Environment
+
+	// sampleEvery enables the huge-page-economy timeline (Fig. 6);
+	// zero for every other cell.
+	sampleEvery uint64
 }
 
 func (c runCfg) key() string {
-	return fmt.Sprintf("%s|%s|%s|%v|%s|%.3f|%+v",
-		c.app, c.ds, c.method, c.order, c.policy.Name, c.policy.PropPercent, c.env)
+	return fmt.Sprintf("%s|%s|%s|%v|%s|%.3f|%+v|%d",
+		c.app, c.ds, c.method, c.order, c.policy.Name, c.policy.PropPercent, c.env, c.sampleEvery)
 }
 
-// run executes (or recalls) one configuration.
+// label is the short operator-facing cell name used in progress lines.
+func (c runCfg) label() string {
+	return fmt.Sprintf("%s/%s/%s/%s/%s", c.app, c.ds, c.method, c.policy.Name, c.order)
+}
+
+// run executes (or recalls) one configuration. Under a parallel
+// campaign the first requester computes and every concurrent duplicate
+// blocks on the same promise; the returned pointer is identical across
+// all requesters.
 func (s *Suite) run(c runCfg) *core.RunResult {
-	k := c.key()
-	if r, ok := s.runs[k]; ok {
+	if s.onRun != nil {
+		s.onRun(c)
+	}
+	return s.runs.Get(c.key(), func() *core.RunResult {
+		e := s.graph(c.ds, c.app == analytics.SSSP, c.method)
+		spec := core.RunSpec{
+			Graph:             e.g,
+			App:               c.app,
+			Reorder:           c.method,
+			Order:             c.order,
+			Policy:            c.policy,
+			Env:               c.env,
+			TLB:               s.TLB,
+			SampleSupplyEvery: c.sampleEvery,
+			Run: analytics.RunOptions{
+				Root:       e.root,
+				PREpsilon:  1e-4,
+				PRMaxIters: s.PRMaxIters,
+			},
+		}
+		if c.method != reorder.Identity {
+			cost := e.cost
+			spec.PreReorderCost = &cost
+		}
+		r, err := core.Run(spec)
+		if err != nil {
+			panic(check.Failf("exp: run %s: %v", c.key(), err))
+		}
+		if s.Log != nil {
+			s.logMu.Lock()
+			fmt.Fprintf(s.Log, "  ran %-4s %-4s %-4s %-10s order=%-10s cycles=%d\n",
+				c.app, c.ds, c.method, c.policy.Name, c.order, r.TotalCycles)
+			s.logMu.Unlock()
+		}
 		return r
-	}
-	e := s.graph(c.ds, c.app == analytics.SSSP, c.method)
-	spec := core.RunSpec{
-		Graph:   e.g,
-		App:     c.app,
-		Reorder: c.method,
-		Order:   c.order,
-		Policy:  c.policy,
-		Env:     c.env,
-		TLB:     s.TLB,
-		Run: analytics.RunOptions{
-			Root:       e.root,
-			PREpsilon:  1e-4,
-			PRMaxIters: s.PRMaxIters,
-		},
-	}
-	if c.method != reorder.Identity {
-		cost := e.cost
-		spec.PreReorderCost = &cost
-	}
-	r, err := core.Run(spec)
-	if err != nil {
-		panic(check.Failf("exp: run %s: %v", k, err))
-	}
-	s.runs[k] = r
-	if s.Log != nil {
-		fmt.Fprintf(s.Log, "  ran %-4s %-4s %-4s %-10s order=%-10s cycles=%d\n",
-			c.app, c.ds, c.method, c.policy.Name, c.order, r.TotalCycles)
-	}
-	return r
+	})
 }
 
 // delta converts a paper-scale pressure level (GB beyond the WSS on the
@@ -177,11 +218,30 @@ func (s *Suite) envFragmented(app analytics.App, ds gen.Dataset, paperGB, level 
 // baseline returns the 4KB-pages fresh-boot run — the denominator of
 // every speedup in the paper.
 func (s *Suite) baseline(app analytics.App, ds gen.Dataset) *core.RunResult {
-	return s.run(runCfg{
+	return s.run(baselineCfg(app, ds))
+}
+
+// baselineCfg names the baseline cell so cell declarations and run
+// paths agree on one definition.
+func baselineCfg(app analytics.App, ds gen.Dataset) runCfg {
+	return runCfg{
 		app: app, ds: ds, method: reorder.Identity,
 		order: analytics.Natural, policy: core.Base4K(), env: core.FreshBoot(),
-	})
+	}
 }
 
 // CachedRunCount reports how many distinct runs the suite has executed.
-func (s *Suite) CachedRunCount() int { return len(s.runs) }
+func (s *Suite) CachedRunCount() int { return s.runs.Len() }
+
+// CheckInvariants audits both promise caches. quiesced asserts the
+// barrier state (no Get in flight): every installed promise resolved.
+// RunCampaign invokes it through check.Audit after each pool barrier.
+func (s *Suite) CheckInvariants(quiesced bool) error {
+	if err := s.graphs.CheckInvariants(quiesced); err != nil {
+		return fmt.Errorf("graph cache: %v", err)
+	}
+	if err := s.runs.CheckInvariants(quiesced); err != nil {
+		return fmt.Errorf("run cache: %v", err)
+	}
+	return nil
+}

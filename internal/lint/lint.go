@@ -6,9 +6,11 @@
 // consults wall-clock time, global random state, or Go's randomized map
 // iteration order. simlint enforces that contract statically, plus two
 // hygiene rules (cost constants live in internal/cost; library packages
-// fail through check.Failf, never bare panic).
+// fail through check.Failf, never bare panic) and one concurrency rule
+// (experiment-suite caches mutate only through the sched.Cache promise
+// API, never as plain maps).
 //
-// Each rule is a table entry with a stable ID (SL001…SL005) so tests
+// Each rule is a table entry with a stable ID (SL001…SL006) so tests
 // can seed violations in testdata fixtures and assert exact
 // diagnostics, and so waivers in code review can name the rule they
 // waive. Test files are exempt from every rule: tests may time

@@ -34,6 +34,7 @@ func TestRuleFixtures(t *testing.T) {
 		{"sl003", []want{{"SL003", 18}, {"SL003", 25}}},
 		{"sl004", []want{{"SL004", 14}, {"SL004", 15}, {"SL004", 16}, {"SL004", 21}}},
 		{"sl005", []want{{"SL005", 13}, {"SL005", 20}}},
+		{"sl006", []want{{"SL006", 17}, {"SL006", 18}}},
 		{"clean", nil},
 	}
 	r := NewRunner(moduleRoot(t))

@@ -60,6 +60,16 @@ func AllRules() []Rule {
 			},
 			Check: checkPanic,
 		},
+		{
+			ID:   "SL006",
+			Name: "suitecache",
+			Doc: "no unsynchronized writes to Suite caches outside the promise API: " +
+				"the experiment suite is shared by campaign workers, so its memo " +
+				"state must live in sched.Cache promises — index-assigning or " +
+				"deleting on a map-typed Suite field reintroduces the data race",
+			Applies: internalOnly,
+			Check:   checkSuiteCache,
+		},
 	}
 }
 
@@ -275,6 +285,72 @@ func checkPanic(p *Pass) {
 		}
 		p.Reportf(call.Pos(), "bare panic in library package: use panic(check.Failf(...)) so failures carry a typed check.Failure")
 	})
+}
+
+// --- SL006: suitecache --------------------------------------------------
+
+// checkSuiteCache flags mutating accesses to map-typed fields of a type
+// named Suite: `s.runs[k] = v` and `delete(s.graphs, k)`. Since the
+// campaign scheduler landed, the experiment suite is shared across
+// worker goroutines and all memoization must go through the sched.Cache
+// promise API; a plain-map cache field is exactly the state such writes
+// would race on. Reads are not flagged — the rule targets the mutation,
+// which is what the promise cache removes.
+func checkSuiteCache(p *Pass) {
+	report := func(pos token.Pos, sel *ast.SelectorExpr, verb string) {
+		p.Reportf(pos, "%s map-typed Suite cache field %s outside the promise API: use sched.Cache.Get so campaign workers cannot race",
+			verb, types.ExprString(sel))
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range e.Lhs {
+					idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+					if !ok {
+						continue
+					}
+					if sel, ok := suiteMapField(p.Info, idx.X); ok {
+						report(lhs.Pos(), sel, "write to")
+					}
+				}
+			case *ast.CallExpr:
+				id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+				if !ok || id.Name != "delete" || len(e.Args) != 2 {
+					return true
+				}
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if sel, ok := suiteMapField(p.Info, e.Args[0]); ok {
+					report(e.Pos(), sel, "delete on")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// suiteMapField reports whether expr selects a map-typed field of a
+// named type called Suite (directly or through a pointer).
+func suiteMapField(info *types.Info, expr ast.Expr) (*ast.SelectorExpr, bool) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, false
+	}
+	if _, isMap := s.Type().Underlying().(*types.Map); !isMap {
+		return nil, false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return sel, ok && named.Obj().Name() == "Suite"
 }
 
 // isCheckFailf reports whether expr is a call to

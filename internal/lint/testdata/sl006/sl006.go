@@ -1,0 +1,24 @@
+// Package sl006 seeds SL006 violations: direct writes to an experiment
+// Suite's plain-map memo fields, which bypass the promise-cache API that
+// makes the suite safe to share across campaign workers.
+package sl006
+
+type result struct{ cycles uint64 }
+
+// Suite mimics the experiment suite from before the campaign scheduler:
+// plain-map caches, safe only single-threaded.
+type Suite struct {
+	runs   map[string]*result
+	graphs map[string]int
+	name   string
+}
+
+func (s *Suite) bad(k string, r *result) {
+	s.runs[k] = r       // SL006: unsynchronized cache write
+	delete(s.graphs, k) // SL006: unsynchronized cache delete
+}
+
+func (s *Suite) fine(k string) *result {
+	s.name = k       // non-map field: not a cache
+	return s.runs[k] // reads are not flagged
+}

@@ -7,6 +7,11 @@
 // entry of vertex v is touched once per in-edge per relevant iteration,
 // so in-degree IS the access-frequency oracle, no runtime profiling
 // needed.
+//
+// The analysis is a pure function of the input graph: it reads only the
+// CSR arrays, allocates its own heat and plan slices, and breaks heat
+// ties by region index, so concurrent simulation cells profiling the
+// same shared *graph.Graph get identical plans without synchronization.
 package profile
 
 import (

@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		var n atomic.Int64
+		const tasks = 100
+		for i := 0; i < tasks; i++ {
+			p.Go(func(int) { n.Add(1) })
+		}
+		p.Wait()
+		if n.Load() != tasks {
+			t.Errorf("workers=%d: ran %d tasks, want %d", workers, n.Load(), tasks)
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+		s := p.Stats()
+		if s.Completed != tasks || s.Queued != 0 || s.Active != 0 {
+			t.Errorf("workers=%d: stats after barrier = %+v", workers, s)
+		}
+		p.Close()
+	}
+}
+
+func TestPoolWorkerIndexInRange(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	defer p.Close()
+	var bad atomic.Int64
+	for i := 0; i < 64; i++ {
+		p.Go(func(w int) {
+			if w < 0 || w >= workers {
+				bad.Add(1)
+			}
+		})
+	}
+	p.Wait()
+	if bad.Load() != 0 {
+		t.Errorf("%d tasks saw a worker index outside [0,%d)", bad.Load(), workers)
+	}
+}
+
+func TestPoolWaitIsBarrierAndReusable(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var phase1 atomic.Int64
+	for i := 0; i < 10; i++ {
+		p.Go(func(int) { phase1.Add(1) })
+	}
+	p.Wait()
+	if phase1.Load() != 10 {
+		t.Fatalf("Wait returned with %d/10 phase-1 tasks done", phase1.Load())
+	}
+	// Pool stays usable after a barrier.
+	var phase2 atomic.Int64
+	p.Go(func(int) { phase2.Add(1) })
+	p.Wait()
+	if phase2.Load() != 1 {
+		t.Fatalf("phase-2 task did not run")
+	}
+}
+
+func TestPoolGoAfterClosePanics(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Go on a closed pool did not panic")
+		}
+	}()
+	p.Go(func(int) {})
+}
+
+func TestPoolMinimumOneWorker(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Errorf("Workers() = %d, want 1", p.Workers())
+	}
+	done := false
+	p.Go(func(int) { done = true })
+	p.Wait()
+	if !done {
+		t.Error("task did not run on the minimum pool")
+	}
+}
+
+func TestCacheMemoizes(t *testing.T) {
+	var c Cache[string, *int]
+	computes := 0
+	get := func(k string) *int {
+		return c.Get(k, func() *int { computes++; v := len(k); return &v })
+	}
+	a1, a2, b := get("a"), get("a"), get("bb")
+	if computes != 2 {
+		t.Errorf("computes = %d, want 2", computes)
+	}
+	if a1 != a2 {
+		t.Error("repeated Get returned a different pointer")
+	}
+	if *b != 2 {
+		t.Errorf("*b = %d, want 2", *b)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", c.Len())
+	}
+	if v, ok := c.Peek("a"); !ok || v != a1 {
+		t.Error("Peek missed a resolved entry")
+	}
+	if _, ok := c.Peek("zzz"); ok {
+		t.Error("Peek invented an entry")
+	}
+	if err := c.CheckInvariants(true); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCacheSingleComputeUnderContention hammers one key from many
+// goroutines: compute must run exactly once and every requester must see
+// the identical pointer. Run with -race this is the core promise-cache
+// soundness test.
+func TestCacheSingleComputeUnderContention(t *testing.T) {
+	var c Cache[int, *int]
+	var computes atomic.Int64
+	const goroutines = 32
+	results := make([]*int, goroutines)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			results[i] = c.Get(7, func() *int {
+				computes.Add(1)
+				v := 42
+				return &v
+			})
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+	if computes.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes.Load())
+	}
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d saw a different pointer", i)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 1 || s.Resolved != 1 || s.Hits != goroutines-1 {
+		t.Errorf("stats = %+v, want 1 entry, 1 resolved, %d hits", s, goroutines-1)
+	}
+	if err := c.CheckInvariants(true); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCacheRecursiveGet mirrors the graph cache's pattern: computing one
+// key requests another key from inside compute.
+func TestCacheRecursiveGet(t *testing.T) {
+	var c Cache[int, int]
+	var fib func(n int) int
+	fib = func(n int) int {
+		return c.Get(n, func() int {
+			if n < 2 {
+				return n
+			}
+			return fib(n-1) + fib(n-2)
+		})
+	}
+	if got := fib(10); got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+	if c.Len() != 11 {
+		t.Errorf("Len() = %d, want 11", c.Len())
+	}
+	if err := c.CheckInvariants(true); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCacheOnPool drives the cache from pool workers the way a campaign
+// does: many tasks, few keys, every value pointer must agree per key.
+func TestCacheOnPool(t *testing.T) {
+	var c Cache[int, *int]
+	p := NewPool(4)
+	defer p.Close()
+	const tasks, keys = 200, 5
+	results := make([]*int, tasks)
+	for i := 0; i < tasks; i++ {
+		p.Go(func(int) {
+			k := i % keys
+			results[i] = c.Get(k, func() *int { v := k * k; return &v })
+		})
+	}
+	p.Wait()
+	for i := 0; i < tasks; i++ {
+		if results[i] != results[i%keys] {
+			t.Fatalf("task %d saw a different pointer for key %d", i, i%keys)
+		}
+		if *results[i] != (i%keys)*(i%keys) {
+			t.Fatalf("task %d saw value %d", i, *results[i])
+		}
+	}
+	if c.Len() != keys {
+		t.Errorf("Len() = %d, want %d", c.Len(), keys)
+	}
+	if err := c.CheckInvariants(true); err != nil {
+		t.Error(err)
+	}
+}

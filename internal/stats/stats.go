@@ -1,6 +1,15 @@
 // Package stats provides the small numeric and formatting helpers the
 // experiment harness uses to turn run results into the paper's tables:
 // speedup ratios, geometric means, and aligned text/CSV/markdown tables.
+//
+// Everything here is value-oriented and free of package-level state, and
+// a Table renders (String, Markdown, CSV) purely from its rows in
+// insertion order. That is one leg of the campaign determinism argument:
+// tables built from memoized run results format identically no matter
+// how many workers produced those results or in what order they
+// finished. A Table under construction is not safe for concurrent
+// AddRow; the experiment harness only builds tables in its sequential
+// render phase.
 package stats
 
 import (

@@ -3,6 +3,12 @@
 // that poisons 2MB regions with non-movable pages (§4.4.1), the ambient
 // fragmentation of a long-running system, and the page-cache
 // interference of naive data loading (§4.3).
+//
+// Each helper mutates only the memsys.Memory it is handed, and placement
+// decisions come from deterministic hashes of the caller's seed — never
+// from shared or global state. Concurrent campaign cells therefore
+// build identical hostile environments from identical parameters, even
+// though every cell ages and fragments its own private machine.
 package workload
 
 import (

@@ -3,12 +3,18 @@
 #
 #   1. gofmt            formatting drift
 #   2. go vet           stdlib static checks
-#   3. simlint          project determinism rules (SL001..SL005)
+#   3. simlint          project determinism rules (SL001..SL006)
 #   4. go build         both build-tag variants compile
 #   5. go test -race    full suite under the race detector
 #   6. go test -tags simcheck ./internal/...
 #                       suite again with runtime invariant audits live
-#                       (buddy allocator, TLB arrays, VM accounting)
+#                       (buddy allocator, TLB arrays, VM accounting,
+#                       scheduler task conservation, promise quiescence)
+#   7. expdriver -j diff
+#                       a bench-scale campaign subset run at -j 1 and
+#                       -j 4 must be byte-identical on every surface
+#   8. docsplice -check
+#                       EXPERIMENTS.md's measured blocks match results/
 #
 # Run from the repository root: ./scripts/ci.sh
 set -eu
@@ -38,5 +44,22 @@ go test -race ./...
 
 echo "== test -tags simcheck (runtime audits live)"
 go test -tags simcheck ./internal/...
+
+echo "== expdriver determinism: bench-scale -j 1 vs -j 4"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/expdriver" ./cmd/expdriver
+subset="fig5,pagecache"
+mkdir -p "$tmp/csv1" "$tmp/csv4"
+"$tmp/expdriver" -scale bench -exp "$subset" -j 1 \
+    -out "$tmp/out1.md" -csv "$tmp/csv1" > "$tmp/stdout1.txt"
+"$tmp/expdriver" -scale bench -exp "$subset" -j 4 \
+    -out "$tmp/out4.md" -csv "$tmp/csv4" > "$tmp/stdout4.txt"
+diff "$tmp/stdout1.txt" "$tmp/stdout4.txt"
+diff "$tmp/out1.md" "$tmp/out4.md"
+diff -r "$tmp/csv1" "$tmp/csv4"
+
+echo "== docsplice -check (EXPERIMENTS.md in sync with results/)"
+go run ./cmd/docsplice -doc EXPERIMENTS.md -results results/expdriver_full.txt -check
 
 echo "CI PASS"
