@@ -5,6 +5,7 @@
 // Usage:
 //
 //	expdriver [-scale full|bench|test] [-exp fig1,fig10,...] [-j N] [-out results.md] [-v]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -j runs the campaign's simulation cells on N workers (0 = all CPUs).
 // Parallelism changes wall-clock time only: stdout, the markdown file,
@@ -23,6 +24,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,7 +41,36 @@ func main() {
 	verbose := flag.Bool("v", false, "log per-worker progress for each simulation cell")
 	listOnly := flag.Bool("list", false, "list experiments and exit")
 	priters := flag.Int("pr-iters", 3, "PageRank iteration cap")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
+			}
+		}()
+	}
 
 	if *listOnly {
 		for _, e := range exp.Registry {

@@ -107,9 +107,9 @@ func cmdRecord(args []string) error {
 		return err
 	}
 	img.Init(analytics.Natural)
-	m.Tracer = w // record only the kernel phase
+	m.SetTracer(w) // record only the kernel phase
 	img.Run(analytics.DefaultRunOptions(gr))
-	m.Tracer = nil
+	m.SetTracer(nil)
 	if err := w.Close(); err != nil {
 		return err
 	}

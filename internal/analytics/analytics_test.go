@@ -355,3 +355,52 @@ func TestBCSourceSelection(t *testing.T) {
 		}
 	}
 }
+
+// TestAccountingIdentityStressedBFS runs BFS under the full THP policy
+// on a machine deliberately smaller than the workload's footprint, so
+// the run exercises every cycle source at once: demand faults (huge and
+// base), reclaim, swap-in/out, demotion, khugepaged promotion, and TLB
+// walks. The staged access engine must preserve the accounting identity
+// exactly: per phase, Cycles = TranslationCycles + DataCycles +
+// FaultCycles, and the phases sum to the machine's total cycle counter.
+func TestAccountingIdentityStressedBFS(t *testing.T) {
+	g := gen.Generate(gen.Kron25, gen.ScaleBench, false)
+	m := machine.New(machine.Config{
+		MemoryBytes: 4 << 20, // footprint is ~4.9MB: forces reclaim and swap
+		TLB:         tlb.Haswell(),
+		Cache:       cache.Haswell(),
+		Cost:        cost.Fast(),
+		Kernel:      oskernel.DefaultConfig(),
+	})
+	img, err := NewImage(m, g, BFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BeginPhase("init")
+	img.Init(Natural)
+	m.BeginPhase("kernel")
+	img.Run(DefaultRunOptions(g))
+	phases := m.FinishPhases()
+
+	var sum uint64
+	for _, p := range phases {
+		if p.Cycles != p.TranslationCycles+p.DataCycles+p.FaultCycles {
+			t.Fatalf("phase %q: cycles %d != translation %d + data %d + fault %d",
+				p.Name, p.Cycles, p.TranslationCycles, p.DataCycles, p.FaultCycles)
+		}
+		sum += p.Cycles
+	}
+	if sum != m.Cycles() {
+		t.Fatalf("phases sum to %d cycles, machine counted %d", sum, m.Cycles())
+	}
+
+	// The identity only means something if the run was actually
+	// stressed: demand faults, swap traffic, and huge page churn.
+	s := m.Kernel.Stats()
+	if s.Faults4K == 0 || s.FaultsHuge == 0 {
+		t.Fatalf("run not stressed: kernel stats %+v", s)
+	}
+	if s.SwapOuts == 0 || s.SwapIns == 0 {
+		t.Fatalf("no swap pressure: kernel stats %+v", s)
+	}
+}

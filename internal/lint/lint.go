@@ -8,9 +8,10 @@
 // hygiene rules (cost constants live in internal/cost; library packages
 // fail through check.Failf, never bare panic) and one concurrency rule
 // (experiment-suite caches mutate only through the sched.Cache promise
-// API, never as plain maps).
+// API, never as plain maps), and one performance-contract rule (files
+// tagged //simlint:fastpath stay free of allocation risks).
 //
-// Each rule is a table entry with a stable ID (SL001…SL006) so tests
+// Each rule is a table entry with a stable ID (SL001…SL007) so tests
 // can seed violations in testdata fixtures and assert exact
 // diagnostics, and so waivers in code review can name the rule they
 // waive. Test files are exempt from every rule: tests may time
@@ -160,7 +161,10 @@ func (r *Runner) loadUncached(importPath, dir string) *checked {
 	}
 	var files []*ast.File
 	for _, name := range bp.GoFiles {
-		f, err := parser.ParseFile(r.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		// ParseComments is needed for the file-level lint directives
+		// (//simlint:fastpath, consumed by SL007).
+		f, err := parser.ParseFile(r.fset, filepath.Join(dir, name), nil,
+			parser.SkipObjectResolution|parser.ParseComments)
 		if err != nil {
 			return &checked{err: fmt.Errorf("lint: %v", err)}
 		}

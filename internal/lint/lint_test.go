@@ -35,6 +35,7 @@ func TestRuleFixtures(t *testing.T) {
 		{"sl004", []want{{"SL004", 14}, {"SL004", 15}, {"SL004", 16}, {"SL004", 21}}},
 		{"sl005", []want{{"SL005", 13}, {"SL005", 20}}},
 		{"sl006", []want{{"SL006", 17}, {"SL006", 18}}},
+		{"sl007", []want{{"SL007", 17}, {"SL007", 18}, {"SL007", 19}, {"SL007", 21}}},
 		{"clean", nil},
 	}
 	r := NewRunner(moduleRoot(t))

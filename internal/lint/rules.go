@@ -70,6 +70,17 @@ func AllRules() []Rule {
 			Applies: internalOnly,
 			Check:   checkSuiteCache,
 		},
+		{
+			ID:   "SL007",
+			Name: "fastpath",
+			Doc: "no allocation risks in files tagged //simlint:fastpath: the " +
+				"per-access engine's zero-alloc contract forbids append, map " +
+				"writes, and closures capturing local variables there — " +
+				"anything that can heap-allocate belongs in setup or slow-path " +
+				"files",
+			Applies: internalOnly,
+			Check:   checkFastPath,
+		},
 	}
 }
 
@@ -351,6 +362,99 @@ func suiteMapField(info *types.Info, expr ast.Expr) (*ast.SelectorExpr, bool) {
 	}
 	named, ok := recv.(*types.Named)
 	return sel, ok && named.Obj().Name() == "Suite"
+}
+
+// --- SL007: fastpath ----------------------------------------------------
+
+// checkFastPath enforces the zero-alloc contract on files carrying a
+// //simlint:fastpath directive comment (the per-access engine, e.g.
+// internal/machine/access.go). Three allocation hazards are flagged:
+// append calls (slice growth), map writes (insert/rehash), and function
+// literals that capture local variables (the capture forces a heap
+// closure). The AllocsPerRun test proves the contract holds today; this
+// rule keeps regressions from compiling in silently.
+func checkFastPath(p *Pass) {
+	for _, file := range p.Files {
+		if !hasFastPathDirective(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" {
+					return true
+				}
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					p.Reportf(e.Pos(), "append in fast-path file: slice growth can allocate per access; preallocate in setup code")
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range e.Lhs {
+					if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isMapIndex(p.Info, idx) {
+						p.Reportf(lhs.Pos(), "map write in fast-path file: map assignment can allocate and rehash per access; use preallocated arrays or slices")
+					}
+				}
+			case *ast.IncDecStmt:
+				if idx, ok := ast.Unparen(e.X).(*ast.IndexExpr); ok && isMapIndex(p.Info, idx) {
+					p.Reportf(e.Pos(), "map write in fast-path file: map assignment can allocate and rehash per access; use preallocated arrays or slices")
+				}
+			case *ast.FuncLit:
+				reportClosureCaptures(p, e)
+			}
+			return true
+		})
+	}
+}
+
+// hasFastPathDirective reports whether the file carries a
+// //simlint:fastpath comment (conventionally the first line).
+func hasFastPathDirective(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == "//simlint:fastpath" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isMapIndex reports whether idx indexes a map-typed operand.
+func isMapIndex(info *types.Info, idx *ast.IndexExpr) bool {
+	tv, ok := info.Types[idx.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// reportClosureCaptures flags local variables a function literal closes
+// over: the capture forces both the closure and (usually) the variable
+// onto the heap. Package-level variables and the literal's own
+// parameters and locals (whose declarations sit inside the literal's
+// source range) are free.
+func reportClosureCaptures(p *Pass, lit *ast.FuncLit) {
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pkg() != p.Pkg || v.Parent() == p.Pkg.Scope() {
+			return true // package-level or foreign: not a capture
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the literal's own parameter or local
+		}
+		seen[v] = true
+		p.Reportf(id.Pos(), "closure capturing %q in fast-path file: captured locals escape to the heap; pass state explicitly or hoist the function", v.Name())
+		return true
+	})
 }
 
 // isCheckFailf reports whether expr is a call to

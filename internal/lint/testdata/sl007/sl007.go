@@ -1,0 +1,30 @@
+//simlint:fastpath
+
+// Package sl007 seeds SL007 violations: allocation hazards inside a
+// file tagged //simlint:fastpath (append, map writes, and closures
+// capturing local variables).
+package sl007
+
+var calls uint64
+
+type engine struct {
+	log  []uint64
+	memo map[uint64]uint64
+	hook func()
+}
+
+func (e *engine) bad(va uint64) {
+	e.log = append(e.log, va) // SL007: append can grow the slice
+	e.memo[va] = va           // SL007: map write
+	e.memo[va]++              // SL007: map write (inc/dec form)
+	local := va
+	e.hook = func() { local++ } // SL007: closure captures a local
+}
+
+func (e *engine) fine(va uint64) uint64 {
+	v := e.memo[va]                         // map read: not flagged
+	f := func(x uint64) uint64 { return x } // captures nothing: free
+	e.hook = func() { calls++ }             // package-level var: free
+	e.log[0] = va                           // slice write: free
+	return v + f(va)
+}

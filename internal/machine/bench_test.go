@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"testing"
+
+	"graphmem/internal/cache"
+	"graphmem/internal/cost"
+	"graphmem/internal/oskernel"
+	"graphmem/internal/tlb"
+)
+
+// benchMachine builds a machine with the paper's full-geometry hardware
+// and the default THP policy, maps one array, and faults it in so the
+// benchmark loop measures steady state rather than first-touch costs.
+func benchMachine(b *testing.B, bytes uint64) (*Machine, uint64) {
+	b.Helper()
+	m := New(Config{
+		MemoryBytes: 256 << 20,
+		TLB:         tlb.Haswell(),
+		Cache:       cache.Haswell(),
+		Cost:        cost.Default(),
+		Kernel:      oskernel.DefaultConfig(),
+	})
+	v := m.Space.Mmap("bench", bytes)
+	m.RegisterArray(v)
+	m.Touch(v.Base, v.Bytes)
+	return m, v.Base
+}
+
+// BenchmarkAccess is the simulator's per-access floor: every reference
+// hits the translation fast path (mapped page, TLB hit) and the L1 data
+// cache. This is the number scripts/bench.sh records as ns/access and
+// the zero-alloc contract covers.
+func BenchmarkAccess(b *testing.B) {
+	m, base := benchMachine(b, 8<<20)
+	// 16KB working set: fits L1D and one 2MB page, so the loop stays on
+	// the TLB-hit + L1-hit path.
+	const span = 16 << 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	va := base
+	for i := 0; i < b.N; i++ {
+		m.Access(va)
+		va += 64
+		if va >= base+span {
+			va = base
+		}
+	}
+}
+
+// BenchmarkAccessStream measures a streaming pass: sequential lines over
+// a footprint far beyond L1, so data misses and periodic TLB refills are
+// in the mix (the shape of an initialization loop).
+func BenchmarkAccessStream(b *testing.B) {
+	m, base := benchMachine(b, 64<<20)
+	const span = 64 << 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	va := base
+	for i := 0; i < b.N; i++ {
+		m.Access(va)
+		va += 64
+		if va >= base+span {
+			va = base
+		}
+	}
+}
+
+// BenchmarkAccessRandom measures the graph-analytics shape: a
+// deterministic xorshift stream of irregular references, where walks and
+// DRAM fills dominate (the property-array access pattern).
+func BenchmarkAccessRandom(b *testing.B) {
+	m, base := benchMachine(b, 64<<20)
+	const mask = 64<<20 - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < b.N; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		m.Access(base + (x&mask)&^63)
+	}
+}

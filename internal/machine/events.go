@@ -1,0 +1,65 @@
+package machine
+
+// The event layer. Background actors — the kernel's khugepaged cadence
+// and registered tickers (churning co-runners, samplers) — each have a
+// cycle deadline. armEvents folds them into a single nextEvent value,
+// so Access pays one compare per reference and full dispatch runs only
+// when something is actually due.
+//
+// Bit-exactness argument (vs. the pre-event engine, which called
+// Kernel.Tick and scanned every ticker on every access): each actor's
+// own due-check is unchanged — Tick still guards on now-lastScan <
+// interval, a ticker still fires when now-last >= interval — and
+// deadlines are exactly the cycles at which those guards first pass
+// (lastScan+interval, last+interval). Between deadlines neither engine
+// fires anything; at a deadline both dispatch in the same order (kernel
+// first, then tickers in registration order) with the same now. A
+// kernel whose mode disables scanning keeps a stale deadline in the
+// past, so Tick is still invoked per access and still returns early —
+// identical to the old engine, and immune to runtime SetMode flips.
+
+// ticker is a periodic simulated-time callback.
+type ticker struct {
+	interval uint64
+	last     uint64
+	fn       func(now uint64)
+}
+
+// AddTicker registers fn to run (at most) once per interval simulated
+// cycles, driven by Access. Used for background actors such as a
+// dynamically churning co-runner.
+func (m *Machine) AddTicker(interval uint64, fn func(now uint64)) {
+	if interval == 0 {
+		interval = 1
+	}
+	m.tickers = append(m.tickers, ticker{interval: interval, fn: fn})
+	m.armEvents()
+}
+
+// armEvents recomputes nextEvent as the earliest deadline of any
+// background actor. ^uint64(0) means nothing is registered (the fast
+// path's compare then never fires).
+func (m *Machine) armEvents() {
+	next := m.Kernel.NextTickAt()
+	for i := range m.tickers {
+		if d := m.tickers[i].last + m.tickers[i].interval; d < next {
+			next = d
+		}
+	}
+	m.nextEvent = next
+}
+
+// runEvents dispatches every actor whose deadline has passed and
+// re-arms. Called from Access when m.cycles >= m.nextEvent.
+func (m *Machine) runEvents() {
+	now := m.cycles
+	m.Kernel.Tick(now)
+	for i := range m.tickers {
+		t := &m.tickers[i]
+		if now-t.last >= t.interval {
+			t.last = now
+			t.fn(now)
+		}
+	}
+	m.armEvents()
+}

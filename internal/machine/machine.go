@@ -7,11 +7,25 @@
 // Simulated time is a cycle counter; "runtime" comparisons across
 // configurations are ratios of these counters over identical access
 // streams.
+//
+// The access engine is staged across four files (DESIGN.md §4):
+//
+//   - access.go       the branch-lean fast path: one translation-cache
+//     compare, TLB probe, data-cache probe, and inlined allocation-free
+//     accounting. Tagged //simlint:fastpath (rule SL007).
+//   - access_slow.go  everything rare: page faults, STLB probes, page
+//     walks, simulated-PTE fetches, TLB fills.
+//   - events.go       the event layer: background actors (khugepaged,
+//     tickers) register cycle deadlines; the fast path pays a single
+//     compare per access and dispatches only when a deadline is due.
+//   - stats.go        phases, per-array attribution, and the observer
+//     spine (tracer and other composable per-access hooks).
+//
+// This file holds construction and the cross-cutting small pieces.
 package machine
 
 import (
 	"graphmem/internal/cache"
-	"graphmem/internal/check"
 	"graphmem/internal/cost"
 	"graphmem/internal/memsys"
 	"graphmem/internal/oskernel"
@@ -47,40 +61,6 @@ func DefaultConfig(memBytes uint64) Config {
 	}
 }
 
-// ArrayStats attributes memory behaviour to one registered array (VMA),
-// reproducing the paper's per-data-structure analysis (Fig. 4/5).
-type ArrayStats struct {
-	Name     string
-	Accesses uint64
-	L1Misses uint64
-	Walks    uint64
-}
-
-// PhaseStats aggregates behaviour over one named phase of execution
-// (the paper reports initialization and kernel time separately).
-type PhaseStats struct {
-	Name   string
-	Cycles uint64
-
-	Accesses uint64
-
-	DataCycles        uint64 // time in the data cache/DRAM hierarchy
-	TranslationCycles uint64 // STLB hits + page walks
-	FaultCycles       uint64 // kernel fault handling on the critical path
-
-	TLB   tlb.Stats
-	Cache cache.Stats
-}
-
-// TranslationShare is the fraction of phase cycles spent translating
-// (the paper's Fig. 2 metric, extended with fault time excluded).
-func (p PhaseStats) TranslationShare() float64 {
-	if p.Cycles == 0 {
-		return 0
-	}
-	return float64(p.TranslationCycles) / float64(p.Cycles)
-}
-
 // Machine is one simulated host running one workload.
 type Machine struct {
 	Mem    *memsys.Memory
@@ -93,11 +73,24 @@ type Machine struct {
 	cycles uint64
 	simPT  bool
 
-	// Tracer, when non-nil, receives every access (virtual address and
-	// the VMA's StatsTag) — the hook for trace capture.
-	Tracer interface{ Trace(va uint64, tag uint8) }
+	// One-entry post-TLB translation cache: the page installed by the
+	// last translate/fault, keyed by [trBase, trBase+trSpan). A hit
+	// skips the radix walk in Space.Translate entirely; shootdown()
+	// clears it whenever any mapping changes. trSpan == 0 means empty
+	// (the unsigned compare va-trBase >= trSpan then always misses).
+	tr     vm.Translation
+	trBase uint64
+	trSpan uint64
 
-	tickers []ticker
+	// Event layer state (events.go): the earliest cycle at which any
+	// background actor is due. The fast path compares cycles against
+	// this once per access.
+	nextEvent uint64
+	tickers   []ticker
+
+	// Observer spine (stats.go). The fast path tests emptiness only.
+	observers []Observer
+	ev        AccessEvent // reused per-notify to keep dispatch alloc-free
 
 	phase      PhaseStats
 	tlbAtPhase tlb.Stats
@@ -121,9 +114,18 @@ func New(cfg Config) *Machine {
 		Cache:  cache.New(cfg.Cache),
 		Model:  cfg.Cost,
 	}
-	space.Shootdown = m.TLB.Invalidate
+	space.Shootdown = m.shootdown
 	m.phase = PhaseStats{Name: "boot"}
+	m.armEvents()
 	return m
+}
+
+// shootdown is the address space's mapping-change callback: it drops the
+// machine's one-entry translation cache (conservatively, whatever the
+// changed range was) and forwards the invalidation to the TLB hierarchy.
+func (m *Machine) shootdown(va uint64, size vm.PageSizeClass) {
+	m.trSpan = 0
+	m.TLB.Invalidate(va, size)
 }
 
 // Cycles returns total simulated time so far.
@@ -131,192 +133,11 @@ func (m *Machine) Cycles() uint64 { return m.cycles }
 
 // AddCycles charges pure compute time (no memory access) to the current
 // phase, used for modelling non-memory work such as preprocessing CPU
-// time.
+// time. It does not dispatch background events: only Access drives them,
+// matching the pre-event-layer engine.
 func (m *Machine) AddCycles(c uint64) {
 	m.cycles += c
 	m.phase.Cycles += c
-}
-
-// RegisterArray tags a VMA for per-array attribution and returns its
-// stats index.
-func (m *Machine) RegisterArray(v *vm.VMA) int {
-	v.StatsTag = len(m.arrays)
-	m.arrays = append(m.arrays, ArrayStats{Name: v.Name})
-	return v.StatsTag
-}
-
-// ArrayStats returns a copy of the per-array counters.
-func (m *Machine) ArrayStats() []ArrayStats {
-	out := make([]ArrayStats, len(m.arrays))
-	copy(out, m.arrays)
-	return out
-}
-
-// BeginPhase closes the current phase and starts a new one.
-func (m *Machine) BeginPhase(name string) {
-	m.closePhase()
-	m.phase = PhaseStats{Name: name}
-	m.tlbAtPhase = m.TLB.Stats()
-	m.cchAtPhase = m.Cache.Stats()
-}
-
-func (m *Machine) closePhase() {
-	cur := m.TLB.Stats()
-	m.phase.TLB = tlb.Stats{
-		Lookups:    cur.Lookups - m.tlbAtPhase.Lookups,
-		L1Misses:   cur.L1Misses - m.tlbAtPhase.L1Misses,
-		STLBMisses: cur.STLBMisses - m.tlbAtPhase.STLBMisses,
-		WalkCycles: cur.WalkCycles - m.tlbAtPhase.WalkCycles,
-	}
-	cch := m.Cache.Stats()
-	m.phase.Cache = cache.Stats{
-		Accesses: cch.Accesses - m.cchAtPhase.Accesses,
-		L1Misses: cch.L1Misses - m.cchAtPhase.L1Misses,
-		LLCMiss:  cch.LLCMiss - m.cchAtPhase.LLCMiss,
-	}
-	m.done = append(m.done, m.phase)
-}
-
-// FinishPhases closes the current phase and returns all completed
-// phases in order.
-func (m *Machine) FinishPhases() []PhaseStats {
-	m.closePhase()
-	m.phase = PhaseStats{Name: "after"}
-	m.tlbAtPhase = m.TLB.Stats()
-	m.cchAtPhase = m.Cache.Stats()
-	return m.done
-}
-
-// Phase returns the named completed phase, or false.
-func (m *Machine) Phase(name string) (PhaseStats, bool) {
-	for _, p := range m.done {
-		if p.Name == name {
-			return p, true
-		}
-	}
-	return PhaseStats{}, false
-}
-
-// Access simulates one data memory access at virtual address va and
-// advances simulated time. Both loads and stores take this path: the
-// simulator does not model store buffers, so the cost of a store's
-// translation and cache fill equals a load's.
-func (m *Machine) Access(va uint64) {
-	var cycles uint64
-
-	tr, fault, ok := m.Space.Translate(va)
-	if !ok {
-		if fault == nil {
-			panic(check.Failf("machine: access to unmapped address %#x", va))
-		}
-		fc := m.Kernel.HandleFault(fault)
-		cycles += fc
-		m.phase.FaultCycles += fc
-		tr, _, ok = m.Space.Translate(va)
-		if !ok {
-			panic(check.Failf("machine: fault handling did not map the page"))
-		}
-	}
-
-	// Address translation.
-	res := m.TLB.Lookup(va, tr.Size)
-	var trCycles uint64
-	switch {
-	case res.STLBHit:
-		trCycles = m.Model.STLBHit
-	case res.Walked:
-		memLv, pwcLv := m.TLB.WalkCost(va, tr.Size)
-		trCycles = m.Model.STLBHit + uint64(pwcLv)*m.Model.WalkLevelPWC
-		if m.simPT {
-			// Fetch the walked entries through the cache hierarchy:
-			// the deepest memLv levels go to memory.
-			addrs, _ := m.Space.WalkEntryAddrs(va, tr.Size)
-			for i := 0; i < memLv; i++ {
-				switch m.Cache.Access(addrs[i]) {
-				case cache.HitL1:
-					trCycles += m.Model.L1DHit
-				case cache.HitLLC:
-					trCycles += m.Model.LLCHit
-				default:
-					trCycles += m.Model.DRAM
-				}
-			}
-		} else {
-			trCycles += uint64(memLv) * m.Model.WalkLevel
-		}
-		m.TLB.AddWalkCycles(trCycles)
-		m.TLB.Fill(va, tr.Size)
-	}
-	cycles += trCycles
-	m.phase.TranslationCycles += trCycles
-
-	// Data access at the physical address.
-	pa := uint64(tr.Frame)<<memsys.PageShift + (va - tr.BaseVA)
-	var dataCycles uint64
-	switch m.Cache.Access(pa) {
-	case cache.HitL1:
-		dataCycles = m.Model.L1DHit
-	case cache.HitLLC:
-		dataCycles = m.Model.LLCHit
-	default:
-		dataCycles = m.Model.DRAM
-	}
-	dataCycles += m.Model.Compute
-	cycles += dataCycles
-	m.phase.DataCycles += dataCycles
-
-	// Region heat for heat-guided promotion policies.
-	tr.VMA.Heat[(va-tr.VMA.Base)>>21]++
-
-	if m.Tracer != nil {
-		tag := uint8(0xFF)
-		if tr.VMA.StatsTag >= 0 && tr.VMA.StatsTag < 0xFF {
-			tag = uint8(tr.VMA.StatsTag)
-		}
-		m.Tracer.Trace(va, tag)
-	}
-
-	// Per-array attribution.
-	if tag := tr.VMA.StatsTag; tag >= 0 {
-		a := &m.arrays[tag]
-		a.Accesses++
-		if !res.L1Hit {
-			a.L1Misses++
-		}
-		if res.Walked {
-			a.Walks++
-		}
-	}
-
-	m.cycles += cycles
-	m.phase.Cycles += cycles
-	m.phase.Accesses++
-
-	m.Kernel.Tick(m.cycles)
-	for i := range m.tickers {
-		t := &m.tickers[i]
-		if m.cycles-t.last >= t.interval {
-			t.last = m.cycles
-			t.fn(m.cycles)
-		}
-	}
-}
-
-// ticker is a periodic simulated-time callback.
-type ticker struct {
-	interval uint64
-	last     uint64
-	fn       func(now uint64)
-}
-
-// AddTicker registers fn to run (at most) once per interval simulated
-// cycles, driven by Access. Used for background actors such as a
-// dynamically churning co-runner.
-func (m *Machine) AddTicker(interval uint64, fn func(now uint64)) {
-	if interval == 0 {
-		interval = 1
-	}
-	m.tickers = append(m.tickers, ticker{interval: interval, fn: fn})
 }
 
 // Touch faults in (and accesses) every page of the byte range

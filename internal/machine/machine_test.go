@@ -207,7 +207,7 @@ func TestTracerReceivesAccesses(t *testing.T) {
 	v := m.Space.Mmap("a", memsys.HugeSize)
 	m.RegisterArray(v)
 	rec := &recordingTracer{}
-	m.Tracer = rec
+	m.SetTracer(rec)
 	m.Access(v.Base + 100)
 	m.Access(v.Base + 5000)
 	if len(rec.vas) != 2 || rec.vas[0] != v.Base+100 {
@@ -273,4 +273,128 @@ func TestSimulatedPageTablesChangeWalkCosts(t *testing.T) {
 		t.Fatalf("hot-PT walks (%d/%d) not cheaper than constant model (%d/%d)",
 			simCost, simWalks, constCost, constWalks)
 	}
+}
+
+// --- staged-engine regression tests -----------------------------------
+
+// TestFaultPathCyclesPinned pins the staged engine's fault-path charges:
+// with ample free memory the critical-path fault cost is exactly the
+// model's minor-fault constant — 4K under THP=never, 2M on an always-on
+// first touch — unchanged from the engine that re-translated after every
+// fault.
+func TestFaultPathCyclesPinned(t *testing.T) {
+	fast := cost.Fast()
+
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	v := m.Space.Mmap("a", memsys.HugeSize)
+	m.BeginPhase("p")
+	m.Access(v.Base)
+	m.FinishPhases()
+	p, ok := m.Phase("p")
+	if !ok {
+		t.Fatal("phase missing")
+	}
+	if p.FaultCycles != fast.MinorFault4K {
+		t.Fatalf("4K fault charged %d cycles, want MinorFault4K = %d", p.FaultCycles, fast.MinorFault4K)
+	}
+	if s := m.Kernel.Stats(); s.Faults4K != 1 || s.FaultsHuge != 0 {
+		t.Fatalf("kernel stats = %+v", s)
+	}
+
+	m = newTestMachine(t, oskernel.DefaultConfig())
+	v = m.Space.Mmap("a", memsys.HugeSize)
+	m.BeginPhase("p")
+	m.Access(v.Base)
+	m.FinishPhases()
+	p, _ = m.Phase("p")
+	if p.FaultCycles != fast.MinorFault2M {
+		t.Fatalf("huge fault charged %d cycles, want MinorFault2M = %d", p.FaultCycles, fast.MinorFault2M)
+	}
+	if s := m.Kernel.Stats(); s.FaultsHuge != 1 {
+		t.Fatalf("kernel stats = %+v", s)
+	}
+}
+
+// TestAccessFastPathZeroAllocs proves the steady-state Access fast path
+// performs zero heap allocations (the contract SL007 guards statically).
+func TestAccessFastPathZeroAllocs(t *testing.T) {
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	v := m.Space.Mmap("a", memsys.HugeSize)
+	m.RegisterArray(v)
+	m.Touch(v.Base, memsys.HugeSize) // fault everything in first
+	const span = 16 << 10
+	var off uint64
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 512; i++ {
+			m.Access(v.Base + off)
+			off = (off + 64) % span
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state fast path allocates: %v allocs per 512 accesses", avg)
+	}
+}
+
+// TestTickerCadenceMatchesPerAccessScan replays the pre-event-layer
+// dispatch rule — scan every ticker after every access, fire when
+// now-last >= interval — and asserts the event layer fires at exactly
+// the same cycle counts.
+func TestTickerCadenceMatchesPerAccessScan(t *testing.T) {
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	v := m.Space.Mmap("a", 4*memsys.HugeSize)
+
+	const interval = 1000
+	var fires []uint64
+	m.AddTicker(interval, func(now uint64) { fires = append(fires, now) })
+
+	var want []uint64
+	var last uint64
+	x := uint64(1)
+	for i := 0; i < 3000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		m.Access(v.Base + x%(4*memsys.HugeSize))
+		if c := m.Cycles(); c-last >= interval {
+			want = append(want, c)
+			last = c
+		}
+	}
+	if len(fires) == 0 {
+		t.Fatal("ticker never fired")
+	}
+	if len(fires) != len(want) {
+		t.Fatalf("ticker fired %d times, per-access scan would fire %d", len(fires), len(want))
+	}
+	for i := range fires {
+		if fires[i] != want[i] {
+			t.Fatalf("fire %d at cycle %d, per-access scan fires at %d", i, fires[i], want[i])
+		}
+	}
+
+	// A ticker registered mid-run must be armed immediately: its first
+	// due deadline is already in the past, so the next access fires it.
+	var late []uint64
+	m.AddTicker(interval, func(now uint64) { late = append(late, now) })
+	m.Access(v.Base)
+	if len(late) != 1 || late[0] != m.Cycles() {
+		t.Fatalf("mid-run ticker fires = %v, want one fire at %d", late, m.Cycles())
+	}
+}
+
+// TestTranslationCacheInvalidatedOnUnmap guards the machine-level
+// translation cache: unmapping the VMA must drop the cached entry, so a
+// further access panics as an unmapped-address bug instead of silently
+// reusing the stale frame.
+func TestTranslationCacheInvalidatedOnUnmap(t *testing.T) {
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	v := m.Space.Mmap("a", memsys.HugeSize)
+	m.Access(v.Base) // seeds the translation cache
+	m.Space.Munmap(v)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access after munmap did not panic: stale cached translation")
+		}
+	}()
+	m.Access(v.Base)
 }

@@ -1,0 +1,208 @@
+package machine
+
+import (
+	"graphmem/internal/cache"
+	"graphmem/internal/tlb"
+	"graphmem/internal/vm"
+)
+
+// This file is the accounting and observation layer of the access
+// engine: phase bookkeeping, the two built-in zero-alloc accounting
+// hooks (region heat, per-array attribution), and the observer spine
+// that lets trace capture and other per-access consumers compose
+// without touching the fast path.
+
+// ArrayStats attributes memory behaviour to one registered array (VMA),
+// reproducing the paper's per-data-structure analysis (Fig. 4/5).
+type ArrayStats struct {
+	Name     string
+	Accesses uint64
+	L1Misses uint64
+	Walks    uint64
+}
+
+// PhaseStats aggregates behaviour over one named phase of execution
+// (the paper reports initialization and kernel time separately).
+type PhaseStats struct {
+	Name   string
+	Cycles uint64
+
+	Accesses uint64
+
+	DataCycles        uint64 // time in the data cache/DRAM hierarchy
+	TranslationCycles uint64 // STLB hits + page walks
+	FaultCycles       uint64 // kernel fault handling on the critical path
+
+	TLB   tlb.Stats
+	Cache cache.Stats
+}
+
+// TranslationShare is the fraction of phase cycles spent translating
+// (the paper's Fig. 2 metric, extended with fault time excluded).
+func (p PhaseStats) TranslationShare() float64 {
+	if p.Cycles == 0 {
+		return 0
+	}
+	return float64(p.TranslationCycles) / float64(p.Cycles)
+}
+
+// RegisterArray tags a VMA for per-array attribution and returns its
+// stats index.
+func (m *Machine) RegisterArray(v *vm.VMA) int {
+	v.StatsTag = len(m.arrays)
+	m.arrays = append(m.arrays, ArrayStats{Name: v.Name})
+	return v.StatsTag
+}
+
+// ArrayStats returns a copy of the per-array counters.
+func (m *Machine) ArrayStats() []ArrayStats {
+	out := make([]ArrayStats, len(m.arrays))
+	copy(out, m.arrays)
+	return out
+}
+
+// BeginPhase closes the current phase and starts a new one.
+func (m *Machine) BeginPhase(name string) {
+	m.closePhase()
+	m.phase = PhaseStats{Name: name}
+	m.tlbAtPhase = m.TLB.Stats()
+	m.cchAtPhase = m.Cache.Stats()
+}
+
+func (m *Machine) closePhase() {
+	cur := m.TLB.Stats()
+	m.phase.TLB = tlb.Stats{
+		Lookups:    cur.Lookups - m.tlbAtPhase.Lookups,
+		L1Misses:   cur.L1Misses - m.tlbAtPhase.L1Misses,
+		STLBMisses: cur.STLBMisses - m.tlbAtPhase.STLBMisses,
+		WalkCycles: cur.WalkCycles - m.tlbAtPhase.WalkCycles,
+	}
+	cch := m.Cache.Stats()
+	m.phase.Cache = cache.Stats{
+		Accesses: cch.Accesses - m.cchAtPhase.Accesses,
+		L1Misses: cch.L1Misses - m.cchAtPhase.L1Misses,
+		LLCMiss:  cch.LLCMiss - m.cchAtPhase.LLCMiss,
+	}
+	m.done = append(m.done, m.phase)
+}
+
+// FinishPhases closes the current phase and returns all completed
+// phases in order.
+func (m *Machine) FinishPhases() []PhaseStats {
+	m.closePhase()
+	m.phase = PhaseStats{Name: "after"}
+	m.tlbAtPhase = m.TLB.Stats()
+	m.cchAtPhase = m.Cache.Stats()
+	return m.done
+}
+
+// Phase returns the named completed phase, or false.
+func (m *Machine) Phase(name string) (PhaseStats, bool) {
+	for _, p := range m.done {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PhaseStats{}, false
+}
+
+// --- built-in accounting hooks ----------------------------------------
+//
+// Heat and per-array attribution run on every access and feed simulated
+// policy (heat-guided promotion) and the paper's per-structure tables,
+// so they are part of the engine's zero-alloc contract: both are plain
+// field increments, statically compiled into Access rather than
+// dispatched through the observer list.
+
+// accountHeat records region heat for heat-guided promotion policies.
+func (m *Machine) accountHeat(va uint64, v *vm.VMA) {
+	v.Heat[(va-v.Base)>>21]++
+}
+
+// accountArray attributes the access to its registered array, if any.
+func (m *Machine) accountArray(v *vm.VMA, res tlb.Result) {
+	if tag := v.StatsTag; tag >= 0 {
+		a := &m.arrays[tag]
+		a.Accesses++
+		if !res.L1Hit {
+			a.L1Misses++
+		}
+		if res.Walked {
+			a.Walks++
+		}
+	}
+}
+
+// --- observer spine ---------------------------------------------------
+
+// AccessEvent describes one completed simulated access, delivered to
+// registered observers. The pointer handed to OnAccess aliases a buffer
+// reused on every access: observers must copy out any fields they keep.
+type AccessEvent struct {
+	VA     uint64
+	VMA    *vm.VMA
+	Size   vm.PageSizeClass
+	TLB    tlb.Result
+	Data   cache.AccessLevel
+	Cycles uint64 // total cycles this access charged (incl. fault time)
+}
+
+// Observer consumes per-access events. Observers run after all cycle
+// and stats accounting for the access, in registration order, and must
+// not mutate simulation state.
+type Observer interface {
+	OnAccess(ev *AccessEvent)
+}
+
+// AddObserver appends o to the spine. The fast path pays one emptiness
+// check when no observer is registered.
+func (m *Machine) AddObserver(o Observer) {
+	m.observers = append(m.observers, o)
+}
+
+// Tracer receives every access (virtual address and the VMA's StatsTag)
+// — the hook trace capture uses.
+type Tracer interface{ Trace(va uint64, tag uint8) }
+
+// traceAdapter bridges the Tracer interface onto the observer spine.
+type traceAdapter struct{ t Tracer }
+
+func (a traceAdapter) OnAccess(ev *AccessEvent) {
+	tag := uint8(0xFF)
+	if ev.VMA.StatsTag >= 0 && ev.VMA.StatsTag < 0xFF {
+		tag = uint8(ev.VMA.StatsTag)
+	}
+	a.t.Trace(ev.VA, tag)
+}
+
+// SetTracer installs t as the machine's tracer (replacing any previous
+// one); nil detaches. The tracer is an ordinary observer on the spine.
+func (m *Machine) SetTracer(t Tracer) {
+	kept := m.observers[:0]
+	for _, o := range m.observers {
+		if _, isTrace := o.(traceAdapter); !isTrace {
+			kept = append(kept, o)
+		}
+	}
+	m.observers = kept
+	if t != nil {
+		m.observers = append(m.observers, traceAdapter{t})
+	}
+}
+
+// notifyObservers fills the machine's reused event buffer and fans it
+// out. Kept out of the fast path body so Access only pays for it when
+// observers exist.
+func (m *Machine) notifyObservers(va uint64, tr *vm.Translation, res tlb.Result, lvl cache.AccessLevel, cycles uint64) {
+	m.ev = AccessEvent{
+		VA:     va,
+		VMA:    tr.VMA,
+		Size:   tr.Size,
+		TLB:    res,
+		Data:   lvl,
+		Cycles: cycles,
+	}
+	for _, o := range m.observers {
+		o.OnAccess(&m.ev)
+	}
+}

@@ -270,28 +270,33 @@ func (k *Kernel) hugeEligible(v *vm.VMA, r int) bool {
 	}
 }
 
-// HandleFault services a page fault and returns the cycle cost charged
-// to the faulting task. It panics on out-of-memory with all reclaim
-// exhausted, which in this simulator indicates a mis-sized experiment
-// rather than a modelled condition.
-func (k *Kernel) HandleFault(f *vm.FaultInfo) uint64 {
+// HandleFault services a page fault and returns the translation of the
+// mapping it installed plus the cycle cost charged to the faulting task.
+// Returning the translation lets the machine seed its TLB-side state
+// without a second radix walk: every fault path installs its mapping as
+// its final page-table mutation, so the returned translation is exactly
+// what Space.Translate would report afterwards. It panics on
+// out-of-memory with all reclaim exhausted, which in this simulator
+// indicates a mis-sized experiment rather than a modelled condition.
+func (k *Kernel) HandleFault(f *vm.FaultInfo) (vm.Translation, uint64) {
+	var tr vm.Translation
 	var cycles uint64
 	if f.Swapped {
-		cycles = k.swapIn(f)
+		tr, cycles = k.swapIn(f)
 	} else {
-		cycles = k.demandFault(f)
+		tr, cycles = k.demandFault(f)
 	}
 	k.stats.FaultCycles += cycles
-	return cycles
+	return tr, cycles
 }
 
 // demandFault maps a never-touched page, choosing huge vs base.
-func (k *Kernel) demandFault(f *vm.FaultInfo) uint64 {
+func (k *Kernel) demandFault(f *vm.FaultInfo) (vm.Translation, uint64) {
 	v, p := f.VMA, f.Page
 	r := p / vm.RegionPages
 	if k.cfg.FaultTimeHuge && k.hugeEligible(v, r) && v.Present4KInRegion(r) == 0 && !v.HugeMapped(r) {
-		if cycles, ok := k.tryMapHuge(v, r); ok {
-			return cycles
+		if tr, cycles, ok := k.tryMapHuge(v, r); ok {
+			return tr, cycles
 		}
 		k.stats.HugeFallbacks++
 	}
@@ -311,10 +316,21 @@ func (k *Kernel) mayDefrag(v *vm.VMA, r int) bool {
 	}
 }
 
+// hugeTranslation is the translation of region r of v after MapHuge,
+// mirroring what AddressSpace.Translate reports for a huge mapping.
+func hugeTranslation(v *vm.VMA, r int, hf memsys.Frame) vm.Translation {
+	return vm.Translation{
+		Frame:  hf,
+		Size:   vm.Page2M,
+		BaseVA: v.Base + uint64(r)*memsys.HugeSize,
+		VMA:    v,
+	}
+}
+
 // tryMapHuge attempts the huge allocation chain: the hugetlb
 // reservation first (for advised regions), then the Linux fault-time
 // path (free block → compaction → reclaim).
-func (k *Kernel) tryMapHuge(v *vm.VMA, r int) (uint64, bool) {
+func (k *Kernel) tryMapHuge(v *vm.VMA, r int) (vm.Translation, uint64, bool) {
 	if len(k.hugetlbPool) > 0 && v.AdviceAt(r) == vm.AdviceHuge {
 		hf := k.hugetlbPool[len(k.hugetlbPool)-1]
 		k.hugetlbPool = k.hugetlbPool[:len(k.hugetlbPool)-1]
@@ -323,7 +339,7 @@ func (k *Kernel) tryMapHuge(v *vm.VMA, r int) (uint64, bool) {
 		// because its migrate type never becomes Movable).
 		k.space.MapHuge(v, r, hf)
 		k.stats.FaultsHuge++
-		return k.model.MinorFault2M, true
+		return hugeTranslation(v, r, hf), k.model.MinorFault2M, true
 	}
 	var cycles uint64
 	hf := k.mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
@@ -349,15 +365,15 @@ func (k *Kernel) tryMapHuge(v *vm.VMA, r int) (uint64, bool) {
 		}
 	}
 	if hf == memsys.NoFrame {
-		return cycles, false
+		return vm.Translation{}, cycles, false
 	}
 	k.space.MapHuge(v, r, hf)
 	k.stats.FaultsHuge++
-	return cycles + k.model.MinorFault2M, true
+	return hugeTranslation(v, r, hf), cycles + k.model.MinorFault2M, true
 }
 
 // mapBase maps page p with a 4KB frame, reclaiming if needed.
-func (k *Kernel) mapBase(v *vm.VMA, p int, faultCost uint64) uint64 {
+func (k *Kernel) mapBase(v *vm.VMA, p int, faultCost uint64) (vm.Translation, uint64) {
 	var cycles uint64
 	f := k.mem.Alloc(0, memsys.Movable, nil, 0)
 	if f == memsys.NoFrame {
@@ -370,14 +386,16 @@ func (k *Kernel) mapBase(v *vm.VMA, p int, faultCost uint64) uint64 {
 	}
 	k.space.MapBase(v, p, f)
 	k.stats.Faults4K++
-	return cycles + faultCost
+	tr := vm.Translation{Frame: f, Size: vm.Page4K, BaseVA: v.PageVA(p), VMA: v}
+	return tr, cycles + faultCost
 }
 
 // swapIn brings a swapped page back from the swap device.
-func (k *Kernel) swapIn(f *vm.FaultInfo) uint64 {
+func (k *Kernel) swapIn(f *vm.FaultInfo) (vm.Translation, uint64) {
 	cycles := k.model.SwapInPage
 	k.stats.SwapIns++
-	return cycles + k.mapBase(f.VMA, f.Page, k.model.MinorFault4K)
+	tr, mapCycles := k.mapBase(f.VMA, f.Page, k.model.MinorFault4K)
+	return tr, cycles + mapCycles
 }
 
 // reclaim frees up to want pages and returns the cycle cost of doing so
@@ -435,6 +453,19 @@ func (k *Kernel) demoteOneHuge() bool {
 		}
 	}
 	return false
+}
+
+// NextTickAt returns the simulated cycle at which Tick next has
+// background work to consider, or ^uint64(0) when khugepaged is off
+// entirely. The Mode knob is deliberately not consulted: it can change
+// at runtime (SetMode), so a mode-disabled kernel keeps a deadline in
+// the past and Tick's own guard decides — exactly the behaviour of an
+// engine that calls Tick on every access.
+func (k *Kernel) NextTickAt() uint64 {
+	if !k.cfg.KhugepagedEnabled {
+		return ^uint64(0)
+	}
+	return k.lastScan + k.cfg.KhugepagedInterval
 }
 
 // Tick drives background work. now is the machine's accumulated cycle

@@ -25,7 +25,8 @@ func fault(t *testing.T, k *Kernel, space *vm.AddressSpace, v *vm.VMA, p int) ui
 	if fi == nil {
 		t.Fatalf("page %d not in any VMA", p)
 	}
-	return k.HandleFault(fi)
+	_, cycles := k.HandleFault(fi)
+	return cycles
 }
 
 func TestModeNeverNeverHuge(t *testing.T) {
@@ -217,7 +218,7 @@ func TestSwapInCost(t *testing.T) {
 	if fi == nil || !fi.Swapped {
 		t.Fatal("page not swapped")
 	}
-	cycles := k.HandleFault(fi)
+	_, cycles := k.HandleFault(fi)
 	if cycles < cost.Fast().SwapInPage {
 		t.Fatalf("swap-in fault cost %d below device latency", cycles)
 	}
@@ -534,5 +535,60 @@ func TestPromoteRegionCompactsWhenFragmented(t *testing.T) {
 	}
 	if k.Stats().Promotions != 1 {
 		t.Fatalf("stats: %+v", k.Stats())
+	}
+}
+
+// TestHandleFaultReturnsMappedTranslation pins the staged-engine
+// contract: the translation HandleFault returns must equal what a fresh
+// page-table walk reports afterwards, on the huge, base, and swap-in
+// paths — the machine seeds its translation cache from it without a
+// second Translate.
+func TestHandleFaultReturnsMappedTranslation(t *testing.T) {
+	// Huge path: first touch of a full region under ModeAlways.
+	k, space, _ := newKernel(t, DefaultConfig())
+	v := space.Mmap("a", memsys.HugeSize+memsys.PageSize)
+	_, fi, ok := space.Translate(v.PageVA(0))
+	if ok || fi == nil {
+		t.Fatal("expected a demand fault")
+	}
+	tr, cycles := k.HandleFault(fi)
+	if cycles == 0 {
+		t.Fatal("fault charged no cycles")
+	}
+	want, _, ok := space.Translate(v.PageVA(0))
+	if !ok || tr != want {
+		t.Fatalf("huge fault returned %+v, fresh walk reports %+v", tr, want)
+	}
+	if tr.Size != vm.Page2M {
+		t.Fatalf("huge fault returned size %v", tr.Size)
+	}
+
+	// Base path: the partial tail region is never huge-eligible.
+	tail := vm.RegionPages
+	_, fi, _ = space.Translate(v.PageVA(tail))
+	tr, _ = k.HandleFault(fi)
+	want, _, ok = space.Translate(v.PageVA(tail))
+	if !ok || tr != want {
+		t.Fatalf("base fault returned %+v, fresh walk reports %+v", tr, want)
+	}
+	if tr.Size != vm.Page4K {
+		t.Fatalf("base fault returned size %v", tr.Size)
+	}
+
+	// Swap path: evict a 4K page and fault it back in.
+	k2, space2, mem2 := newKernel(t, BaselineConfig())
+	w := space2.Mmap("b", memsys.PageSize)
+	fault(t, k2, space2, w, 0)
+	if d, s := mem2.ReclaimPages(1); d+s != 1 {
+		t.Fatal("reclaim failed")
+	}
+	_, fi2, _ := space2.Translate(w.PageVA(0))
+	if fi2 == nil || !fi2.Swapped {
+		t.Fatal("page not swapped")
+	}
+	tr2, _ := k2.HandleFault(fi2)
+	want2, _, ok := space2.Translate(w.PageVA(0))
+	if !ok || tr2 != want2 {
+		t.Fatalf("swap-in returned %+v, fresh walk reports %+v", tr2, want2)
 	}
 }

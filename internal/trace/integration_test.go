@@ -43,10 +43,10 @@ func TestReusePredictionMatchesTLBSimulation(t *testing.T) {
 	img.Init(analytics.Natural)
 
 	col := &collector{}
-	m.Tracer = col
+	m.SetTracer(col)
 	m.BeginPhase("kernel-measured")
 	img.Run(analytics.DefaultRunOptions(g))
-	m.Tracer = nil
+	m.SetTracer(nil)
 	m.FinishPhases()
 
 	ph, ok := m.Phase("kernel")

@@ -1,0 +1,56 @@
+#!/bin/sh
+# bench.sh — record the simulator's performance trajectory.
+#
+# Runs the per-access microbenchmark (BenchmarkAccess: the steady-state
+# fast path — TLB hit, mapped page, L1D hit), the end-to-end headline
+# experiment benchmark, and a timed bench-scale campaign subset, then
+# writes the figures to BENCH_access.json so subsequent PRs have a
+# recorded baseline to compare against.
+#
+# Usage: ./scripts/bench.sh [output.json]
+#   BENCHTIME=5s ./scripts/bench.sh    # longer micro runs
+set -eu
+
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_access.json}
+
+echo "== BenchmarkAccess (internal/machine)" >&2
+micro=$(go test -run '^$' -bench '^BenchmarkAccess$' -benchmem \
+    -benchtime "${BENCHTIME:-2s}" ./internal/machine)
+echo "$micro" >&2
+ns=$(echo "$micro" | awk '$1 ~ /^BenchmarkAccess(-[0-9]+)?$/ {print $3}')
+bop=$(echo "$micro" | awk '$1 ~ /^BenchmarkAccess(-[0-9]+)?$/ {print $5}')
+aop=$(echo "$micro" | awk '$1 ~ /^BenchmarkAccess(-[0-9]+)?$/ {print $7}')
+if [ -z "$ns" ]; then
+    echo "bench.sh: could not parse BenchmarkAccess output" >&2
+    exit 1
+fi
+
+echo "== BenchmarkHeadline (end-to-end, 1 iteration)" >&2
+headline=$(go test -run '^$' -bench '^BenchmarkHeadline$' -benchtime 1x .)
+echo "$headline" >&2
+hns=$(echo "$headline" | awk '$1 ~ /^BenchmarkHeadline(-[0-9]+)?$/ {print $3}')
+
+echo "== campaign phase wall-clock (bench scale, fig5+pagecache, -j 1)" >&2
+bin=$(mktemp)
+go build -o "$bin" ./cmd/expdriver
+campaign_start=$(date +%s)
+"$bin" -scale bench -exp fig5,pagecache -j 1 >/dev/null
+campaign_end=$(date +%s)
+rm -f "$bin"
+wall=$((campaign_end - campaign_start))
+
+cat > "$out" <<EOF
+{
+  "microbenchmark": "BenchmarkAccess (internal/machine, steady-state fast path)",
+  "ns_per_access": $ns,
+  "bytes_per_op": ${bop:-0},
+  "allocs_per_op": ${aop:-0},
+  "headline_benchmark": "BenchmarkHeadline (-benchtime 1x, bench scale)",
+  "headline_ns_per_op": ${hns:-0},
+  "campaign": "expdriver -scale bench -exp fig5,pagecache -j 1",
+  "campaign_wall_seconds": $wall
+}
+EOF
+echo "wrote $out" >&2
+cat "$out"

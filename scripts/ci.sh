@@ -3,17 +3,21 @@
 #
 #   1. gofmt            formatting drift
 #   2. go vet           stdlib static checks
-#   3. simlint          project determinism rules (SL001..SL006)
+#   3. simlint          project determinism rules (SL001..SL007)
 #   4. go build         both build-tag variants compile
 #   5. go test -race    full suite under the race detector
 #   6. go test -tags simcheck ./internal/...
 #                       suite again with runtime invariant audits live
 #                       (buddy allocator, TLB arrays, VM accounting,
 #                       scheduler task conservation, promise quiescence)
-#   7. expdriver -j diff
+#   7. zero-alloc + bench smoke
+#                       the staged access engine's fast path must stay
+#                       allocation-free, and every machine benchmark
+#                       must still run (-benchtime=1x)
+#   8. expdriver -j diff
 #                       a bench-scale campaign subset run at -j 1 and
 #                       -j 4 must be byte-identical on every surface
-#   8. docsplice -check
+#   9. docsplice -check
 #                       EXPERIMENTS.md's measured blocks match results/
 #
 # Run from the repository root: ./scripts/ci.sh
@@ -44,6 +48,10 @@ go test -race ./...
 
 echo "== test -tags simcheck (runtime audits live)"
 go test -tags simcheck ./internal/...
+
+echo "== zero-alloc fast path + bench smoke"
+go test -run 'TestAccessFastPathZeroAllocs' -count=1 ./internal/machine
+go test -run '^$' -bench '^Benchmark' -benchtime 1x ./internal/machine
 
 echo "== expdriver determinism: bench-scale -j 1 vs -j 4"
 tmp=$(mktemp -d)
