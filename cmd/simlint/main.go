@@ -1,5 +1,5 @@
 // Command simlint runs the project's determinism lint rules (SL001…
-// SL005, see internal/lint) over the module.
+// SL008, see internal/lint) over the module.
 //
 // Usage:
 //

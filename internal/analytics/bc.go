@@ -62,12 +62,12 @@ func (img *Image) runBC(k int) []float64 {
 
 	for _, src := range bcSources(g, k) {
 		// Reset per-source state: streaming pass over the property
-		// array.
+		// array, one bulk run of dist-field writes.
+		m.AccessRun(distAddr(0), n, bcPropEntryBytes)
 		for v := 0; v < n; v++ {
 			dist[v] = -1
 			sigma[v] = 0
 			delta[v] = 0
-			m.Access(distAddr(uint32(v)))
 		}
 		dist[src] = 0
 		sigma[src] = 1
@@ -84,11 +84,11 @@ func (img *Image) runBC(k int) []float64 {
 			for i, v := range cur {
 				m.Access(img.workAddr(buf, i))
 				order = append(order, v)
-				m.Access(img.vertexAddr(v))
-				m.Access(img.vertexAddr(v + 1))
+				m.AccessRun(img.vertexAddr(v), 2, graph.VertexEntryBytes)
 				sv := sigma[v]
-				for e := g.Offsets[v]; e < g.Offsets[v+1]; e++ {
-					m.Access(img.edgeAddr(e))
+				lo, hi := g.Offsets[v], g.Offsets[v+1]
+				m.AccessRun(img.edgeAddr(lo), int(hi-lo), graph.EdgeEntryBytes)
+				for e := lo; e < hi; e++ {
 					w := g.Neighbors[e]
 					m.Access(distAddr(w))
 					if dist[w] == -1 {
@@ -113,14 +113,14 @@ func (img *Image) runBC(k int) []float64 {
 		for i := len(order) - 1; i >= 0; i-- {
 			v := order[i]
 			m.Access(img.workAddr(0, i))
-			m.Access(img.vertexAddr(v))
-			m.Access(img.vertexAddr(v + 1))
+			m.AccessRun(img.vertexAddr(v), 2, graph.VertexEntryBytes)
 			dv := dist[v]
 			sv := sigma[v]
 			m.Access(sigmaAddr(v))
 			acc := 0.0
-			for e := g.Offsets[v]; e < g.Offsets[v+1]; e++ {
-				m.Access(img.edgeAddr(e))
+			lo, hi := g.Offsets[v], g.Offsets[v+1]
+			m.AccessRun(img.edgeAddr(lo), int(hi-lo), graph.EdgeEntryBytes)
+			for e := lo; e < hi; e++ {
 				w := g.Neighbors[e]
 				m.Access(distAddr(w))
 				if dist[w] == dv+1 {

@@ -1,10 +1,12 @@
 package analytics
 
+import "graphmem/internal/graph"
+
 // runBFS executes the paper's push-based frontier BFS (Fig. 4's
 // programming model): iterate the current worklist, read each vertex's
-// CSR offsets, stream its neighbor IDs from the edge array, and perform
-// the pointer-indirect read-modify-write of the property array entry for
-// every unvisited neighbor.
+// CSR offsets, stream its neighbor IDs from the edge array (one bulk
+// run), and perform the pointer-indirect read-modify-write of the
+// property array entry for every unvisited neighbor.
 func (img *Image) runBFS(root uint32) []int64 {
 	g := img.G
 	m := img.M
@@ -29,11 +31,12 @@ func (img *Image) runBFS(root uint32) []int64 {
 		for i, v := range cur {
 			m.Access(img.workAddr(buf, i)) // pop v from the worklist
 			// Two adjacent offset reads delimit the neighbor run.
-			m.Access(img.vertexAddr(v))
-			m.Access(img.vertexAddr(v + 1))
+			m.AccessRun(img.vertexAddr(v), 2, graph.VertexEntryBytes)
 			lo, hi := g.Offsets[v], g.Offsets[v+1]
+			// Sequential neighbor fetch: the whole run streams from the
+			// edge array before the per-neighbor property work.
+			m.AccessRun(img.edgeAddr(lo), int(hi-lo), graph.EdgeEntryBytes)
 			for e := lo; e < hi; e++ {
-				m.Access(img.edgeAddr(e)) // sequential neighbor fetch
 				w := g.Neighbors[e]
 				m.Access(img.propAddr(w)) // irregular property read
 				if hops[w] == -1 {

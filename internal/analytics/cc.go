@@ -33,11 +33,11 @@ func (img *Image) runCC() []int64 {
 		next = next[:0]
 		for i, v := range cur {
 			m.Access(img.workAddr(buf, i))
-			m.Access(img.vertexAddr(v))
-			m.Access(img.vertexAddr(v + 1))
+			m.AccessRun(img.vertexAddr(v), 2, graph.VertexEntryBytes)
 			lv := label[v]
-			for e := g.Offsets[v]; e < g.Offsets[v+1]; e++ {
-				m.Access(img.edgeAddr(e))
+			lo, hi := g.Offsets[v], g.Offsets[v+1]
+			m.AccessRun(img.edgeAddr(lo), int(hi-lo), graph.EdgeEntryBytes)
+			for e := lo; e < hi; e++ {
 				w := g.Neighbors[e]
 				m.Access(img.propAddr(w)) // read neighbor label
 				if label[w] > lv {

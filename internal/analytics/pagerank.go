@@ -1,6 +1,10 @@
 package analytics
 
-import "math"
+import (
+	"math"
+
+	"graphmem/internal/graph"
+)
 
 // prDamping is the standard PageRank damping factor.
 const prDamping = 0.85
@@ -38,8 +42,7 @@ func (img *Image) runPR(eps float64, maxIters int) ([]float64, int) {
 			nextRank[i] = 0
 		}
 		for v := uint32(0); int(v) < n; v++ {
-			m.Access(img.vertexAddr(v))
-			m.Access(img.vertexAddr(v + 1))
+			m.AccessRun(img.vertexAddr(v), 2, graph.VertexEntryBytes)
 			lo, hi := g.Offsets[v], g.Offsets[v+1]
 			deg := hi - lo
 			if deg == 0 {
@@ -47,14 +50,18 @@ func (img *Image) runPR(eps float64, maxIters int) ([]float64, int) {
 			}
 			m.Access(img.propAddr(v)) // sequential read of rank[v]
 			contrib := prDamping * rank[v] / float64(deg)
+			// The neighbor IDs stream from the edge array in one run.
+			m.AccessRun(img.edgeAddr(lo), int(deg), graph.EdgeEntryBytes)
 			for e := lo; e < hi; e++ {
-				m.Access(img.edgeAddr(e))
 				w := g.Neighbors[e]
 				// Irregular read-modify-write of next-rank[w].
 				m.Access(img.propAddr(w) + 8)
 				nextRank[w] += contrib
 			}
 		}
+		// Sequential pass folding next into rank: one property write
+		// per vertex, streamed as a single bulk run.
+		m.AccessRun(img.propAddr(0), n, PropEntryBytes(img.App))
 		var maxDelta float64
 		for v := 0; v < n; v++ {
 			nr := nextRank[v] + base
@@ -62,9 +69,6 @@ func (img *Image) runPR(eps float64, maxIters int) ([]float64, int) {
 				maxDelta = d
 			}
 			rank[v] = nr
-			// Sequential pass folding next into rank: one property
-			// write per vertex.
-			m.Access(img.propAddr(uint32(v)))
 		}
 		if maxDelta < eps {
 			break

@@ -1,5 +1,7 @@
 package analytics
 
+import "graphmem/internal/graph"
+
 // runSSSP executes frontier-based Bellman–Ford relaxation: like BFS but
 // reading the values (weight) array alongside each neighbor and
 // re-enqueueing vertices whose distance improves. A membership bitmap
@@ -27,13 +29,14 @@ func (img *Image) runSSSP(root uint32) []int64 {
 		next = next[:0]
 		for i, v := range cur {
 			m.Access(img.workAddr(buf, i))
-			m.Access(img.vertexAddr(v))
-			m.Access(img.vertexAddr(v + 1))
+			m.AccessRun(img.vertexAddr(v), 2, graph.VertexEntryBytes)
 			dv := dist[v]
 			lo, hi := g.Offsets[v], g.Offsets[v+1]
+			// The neighbor IDs and their weights stream sequentially
+			// from the edge and values arrays before the relaxations.
+			m.AccessRun(img.edgeAddr(lo), int(hi-lo), graph.EdgeEntryBytes)
+			m.AccessRun(img.valueAddr(lo), int(hi-lo), graph.ValueEntryBytes)
 			for e := lo; e < hi; e++ {
-				m.Access(img.edgeAddr(e))
-				m.Access(img.valueAddr(e))
 				w := g.Neighbors[e]
 				nd := dv + int64(g.Weights[e])
 				m.Access(img.propAddr(w)) // property read

@@ -134,6 +134,23 @@ func (l *level) access(line uint64) bool {
 	return false
 }
 
+// repeatHit refreshes line's LRU state as n consecutive hitting accesses
+// would: the clock advances by n and the line's stamp lands on the final
+// clock value, with no other way touched. Returns false when the line is
+// not resident (the caller's residency guarantee was broken).
+func (l *level) repeatHit(line, n uint64) bool {
+	tag := line + 1
+	base := int(line&l.setsMask) * l.ways
+	for w := 0; w < l.ways; w++ {
+		if l.tags[base+w] == tag {
+			l.clock += uint32(n)
+			l.stamp[base+w] = l.clock
+			return true
+		}
+	}
+	return false
+}
+
 func (l *level) reset() {
 	for i := range l.tags {
 		l.tags[i] = 0
@@ -179,6 +196,20 @@ const (
 	HitLLC
 	HitDRAM
 )
+
+// AccessRepeatL1 charges n data accesses to physical address pa that are
+// known to hit the L1: the line was touched by an immediately preceding
+// Access and nothing can have evicted it since (every fill makes the line
+// most-recently-used in its set). Counters and L1 LRU state advance
+// exactly as n Access calls returning HitL1 would; the LLC is untouched,
+// as it is on any L1 hit. It panics when the line is not resident,
+// because that means a bulk caller's same-line guarantee does not hold.
+func (h *Hierarchy) AccessRepeatL1(pa, n uint64) {
+	h.stats.Accesses += n
+	if !h.l1.repeatHit(pa>>LineShift, n) {
+		panic(check.Failf("cache: bulk repeat hit on non-resident line pa=%#x", pa))
+	}
+}
 
 // Access simulates a data access to physical address pa and reports
 // which level served it. Fills are performed along the way (inclusive).

@@ -36,6 +36,7 @@ func TestRuleFixtures(t *testing.T) {
 		{"sl005", []want{{"SL005", 13}, {"SL005", 20}}},
 		{"sl006", []want{{"SL006", 17}, {"SL006", 18}}},
 		{"sl007", []want{{"SL007", 17}, {"SL007", 18}, {"SL007", 19}, {"SL007", 21}}},
+		{"sl008", []want{{"SL008", 15}, {"SL008", 18}}},
 		{"clean", nil},
 	}
 	r := NewRunner(moduleRoot(t))

@@ -81,6 +81,17 @@ func AllRules() []Rule {
 			Applies: internalOnly,
 			Check:   checkFastPath,
 		},
+		{
+			ID:   "SL008",
+			Name: "scalarstream",
+			Doc: "no scalar Access loops over a constant address delta in files " +
+				"tagged //simlint:fastpath: a loop whose post statement steps a " +
+				"variable by a constant and whose body calls Access on an " +
+				"address derived from that variable is a sequential stream " +
+				"that belongs on the bulk AccessRun path",
+			Applies: internalOnly,
+			Check:   checkScalarStream,
+		},
 	}
 }
 
@@ -455,6 +466,101 @@ func reportClosureCaptures(p *Pass, lit *ast.FuncLit) {
 		p.Reportf(id.Pos(), "closure capturing %q in fast-path file: captured locals escape to the heap; pass state explicitly or hoist the function", v.Name())
 		return true
 	})
+}
+
+// --- SL008: scalarstream ------------------------------------------------
+
+// checkScalarStream keeps the engine honest about its own streams: in a
+// //simlint:fastpath file, a for loop whose post statement advances a
+// variable by a compile-time-constant step, with a body calling Access
+// on an address derived from that variable, is exactly the sequential
+// scan AccessRun coalesces — dispatching it scalar forfeits the bulk
+// engine. Loops that step a plain counter while the address advances by
+// a runtime stride in the body (AccessRun's own fallback shape) are not
+// flagged: their post-updated variable never feeds the address.
+func checkScalarStream(p *Pass) {
+	for _, file := range p.Files {
+		if !hasFastPathDirective(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Post == nil {
+				return true
+			}
+			iv := postStepVar(p.Info, loop.Post)
+			if iv == nil {
+				return true
+			}
+			ast.Inspect(loop.Body, func(b ast.Node) bool {
+				call, ok := b.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(p.Info, call)
+				if f == nil || f.Name() != "Access" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if exprUsesVar(p.Info, arg, iv) {
+						p.Reportf(call.Pos(), "scalar Access in a constant-stride loop over %q: a sequential stream belongs on the bulk AccessRun path", iv.Name())
+						break
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// postStepVar returns the variable a loop post statement advances by a
+// compile-time-constant step (i++, i--, a += 64), or nil when the step
+// is not constant or the statement has another shape.
+func postStepVar(info *types.Info, post ast.Stmt) *types.Var {
+	switch s := post.(type) {
+	case *ast.IncDecStmt:
+		return identVar(info, s.X)
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return nil
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		default:
+			return nil
+		}
+		if tv, ok := info.Types[s.Rhs[0]]; !ok || tv.Value == nil {
+			return nil // step is not a compile-time constant
+		}
+		return identVar(info, s.Lhs[0])
+	}
+	return nil
+}
+
+// identVar resolves expr to the variable it names, or nil.
+func identVar(info *types.Info, expr ast.Expr) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Defs[id].(*types.Var)
+	return v
+}
+
+// exprUsesVar reports whether expr mentions v.
+func exprUsesVar(info *types.Info, expr ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == types.Object(v) {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // isCheckFailf reports whether expr is a call to

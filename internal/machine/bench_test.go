@@ -48,6 +48,33 @@ func BenchmarkAccess(b *testing.B) {
 	}
 }
 
+// BenchmarkAccessRun measures the bulk engine on the edge-scan shape:
+// sequential runs of 4-byte entries (16 per cache line) sweeping a 2MB
+// region, issued as AccessRun calls the way the kernels stream a CSR
+// neighbor range. ns/op is per simulated access, directly comparable to
+// BenchmarkAccess; the acceptance bar is ≥3× the scalar throughput at
+// 0 allocs/op.
+func BenchmarkAccessRun(b *testing.B) {
+	m, base := benchMachine(b, 8<<20)
+	const span = 2 << 20
+	const entry = 4
+	const run = 4096 // one AccessRun call covers 16KB of edge entries
+	b.ReportAllocs()
+	b.ResetTimer()
+	va := base
+	for i := 0; i < b.N; i += run {
+		n := run
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		m.AccessRun(va, n, entry)
+		va += uint64(n) * entry
+		if va >= base+span {
+			va = base
+		}
+	}
+}
+
 // BenchmarkAccessStream measures a streaming pass: sequential lines over
 // a footprint far beyond L1, so data misses and periodic TLB refills are
 // in the mix (the shape of an initialization loop).

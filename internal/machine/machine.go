@@ -8,11 +8,14 @@
 // configurations are ratios of these counters over identical access
 // streams.
 //
-// The access engine is staged across four files (DESIGN.md §4):
+// The access engine is staged across five files (DESIGN.md §4):
 //
 //   - access.go       the branch-lean fast path: one translation-cache
 //     compare, TLB probe, data-cache probe, and inlined allocation-free
 //     accounting. Tagged //simlint:fastpath (rule SL007).
+//   - access_run.go   the bulk path: AccessRun coalesces sequential
+//     streams into page segments and line batches with aggregated,
+//     scalar-identical accounting. Tagged //simlint:fastpath.
 //   - access_slow.go  everything rare: page faults, STLB probes, page
 //     walks, simulated-PTE fetches, TLB fills.
 //   - events.go       the event layer: background actors (khugepaged,
@@ -25,6 +28,8 @@
 package machine
 
 import (
+	"os"
+
 	"graphmem/internal/cache"
 	"graphmem/internal/cost"
 	"graphmem/internal/memsys"
@@ -73,6 +78,12 @@ type Machine struct {
 	cycles uint64
 	simPT  bool
 
+	// noBulk forces AccessRun onto the per-access path (access_run.go).
+	// Bulk charging is cycle-identical by construction, so this exists
+	// only to prove it: the CI gate diffs a campaign run both ways. Set
+	// by the GRAPHMEM_NO_BULK environment variable or SetBulk.
+	noBulk bool
+
 	// One-entry post-TLB translation cache: the page installed by the
 	// last translate/fault, keyed by [trBase, trBase+trSpan). A hit
 	// skips the radix walk in Space.Translate entirely; shootdown()
@@ -107,6 +118,7 @@ func New(cfg Config) *Machine {
 	space.SimPageTables = cfg.SimulatePageTables
 	m := &Machine{
 		simPT:  cfg.SimulatePageTables,
+		noBulk: os.Getenv("GRAPHMEM_NO_BULK") != "",
 		Mem:    mem,
 		Space:  space,
 		Kernel: oskernel.New(cfg.Kernel, space, cfg.Cost),
@@ -140,6 +152,12 @@ func (m *Machine) AddCycles(c uint64) {
 	m.phase.Cycles += c
 }
 
+// SetBulk enables or disables the bulk access engine (AccessRun's
+// coalesced path). Disabling is observationally invisible — bulk
+// charging is cycle-identical to per-access dispatch — and exists for
+// the equivalence gate in CI and for differential tests.
+func (m *Machine) SetBulk(enabled bool) { m.noBulk = !enabled }
+
 // Touch faults in (and accesses) every page of the byte range
 // [va, va+bytes), in ascending order — the simulator's equivalent of an
 // initialization loop writing an array sequentially. It charges one
@@ -148,8 +166,6 @@ func (m *Machine) Touch(va, bytes uint64) {
 	if bytes == 0 {
 		return
 	}
-	end := va + bytes
-	for a := va; a < end; a += 1 << cache.LineShift {
-		m.Access(a)
-	}
+	lines := (bytes-1)>>cache.LineShift + 1
+	m.AccessRun(va, int(lines), 1<<cache.LineShift)
 }

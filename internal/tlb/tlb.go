@@ -142,6 +142,28 @@ func (s *setAssoc) lookup(key uint64) bool {
 	return false
 }
 
+// repeatHit refreshes key's LRU state as n consecutive hitting lookups
+// would: each hit advances the set's clock by one and leaves the entry's
+// stamp at the new clock, so n hits in a row net to clock += n with the
+// stamp landing on the final value and no other way touched. Returns
+// false when the entry is absent (the caller's residency guarantee was
+// broken).
+func (s *setAssoc) repeatHit(key, n uint64) bool {
+	if s.ways == 0 {
+		return false
+	}
+	tag := key + 1
+	base := int(key&s.setsMask) * s.ways
+	for w := 0; w < s.ways; w++ {
+		if s.tags[base+w] == tag {
+			s.clock += uint32(n)
+			s.stamp[base+w] = s.clock
+			return true
+		}
+	}
+	return false
+}
+
 // insert fills key, evicting the LRU way of its set if necessary.
 func (s *setAssoc) insert(key uint64) {
 	if s.ways == 0 {
@@ -310,6 +332,35 @@ func (h *Hierarchy) Lookup(va uint64, size vm.PageSizeClass) Result {
 	}
 	h.stats.STLBMisses++
 	return Result{Walked: true}
+}
+
+// L1Holds reports whether the L1 array for the given page size has any
+// capacity. A zero-way array can never retain a translation, so bulk
+// batching that relies on residency after a fill must not engage.
+func (h *Hierarchy) L1Holds(size vm.PageSizeClass) bool {
+	if size == vm.Page2M {
+		return h.l12m.ways != 0
+	}
+	return h.l14k.ways != 0
+}
+
+// LookupRepeatHit charges n translation lookups of va that are known to
+// hit the L1 array: an earlier Lookup in the same access run installed
+// or refreshed the entry and nothing has invalidated it since. Counters
+// and the array's LRU clock advance exactly as n Lookup calls returning
+// L1Hit would. It panics when the entry is absent, because that means a
+// bulk caller's same-page residency guarantee does not hold.
+func (h *Hierarchy) LookupRepeatHit(va uint64, size vm.PageSizeClass, n uint64) {
+	h.stats.Lookups += n
+	var ok bool
+	if size == vm.Page2M {
+		ok = h.l12m.repeatHit(va>>21, n)
+	} else {
+		ok = h.l14k.repeatHit(va>>12, n)
+	}
+	if !ok {
+		panic(check.Failf("tlb: bulk repeat hit on absent translation va=%#x size=%v", va, size))
+	}
 }
 
 // fillL1 installs the translation into the size-appropriate L1 array.

@@ -2,7 +2,9 @@
 # bench.sh — record the simulator's performance trajectory.
 #
 # Runs the per-access microbenchmark (BenchmarkAccess: the steady-state
-# fast path — TLB hit, mapped page, L1D hit), the end-to-end headline
+# fast path — TLB hit, mapped page, L1D hit), the bulk-engine benchmark
+# (BenchmarkAccessRun: edge-scan-shaped sequential runs through
+# AccessRun, ns per simulated access), the end-to-end headline
 # experiment benchmark, and a timed bench-scale campaign subset, then
 # writes the figures to BENCH_access.json so subsequent PRs have a
 # recorded baseline to compare against.
@@ -26,6 +28,17 @@ if [ -z "$ns" ]; then
     exit 1
 fi
 
+echo "== BenchmarkAccessRun (internal/machine, bulk engine)" >&2
+bulk=$(go test -run '^$' -bench '^BenchmarkAccessRun$' -benchmem \
+    -benchtime "${BENCHTIME:-2s}" ./internal/machine)
+echo "$bulk" >&2
+bns=$(echo "$bulk" | awk '$1 ~ /^BenchmarkAccessRun(-[0-9]+)?$/ {print $3}')
+baop=$(echo "$bulk" | awk '$1 ~ /^BenchmarkAccessRun(-[0-9]+)?$/ {print $7}')
+if [ -z "$bns" ]; then
+    echo "bench.sh: could not parse BenchmarkAccessRun output" >&2
+    exit 1
+fi
+
 echo "== BenchmarkHeadline (end-to-end, 1 iteration)" >&2
 headline=$(go test -run '^$' -bench '^BenchmarkHeadline$' -benchtime 1x .)
 echo "$headline" >&2
@@ -46,6 +59,9 @@ cat > "$out" <<EOF
   "ns_per_access": $ns,
   "bytes_per_op": ${bop:-0},
   "allocs_per_op": ${aop:-0},
+  "bulk_microbenchmark": "BenchmarkAccessRun (internal/machine, edge-scan-shaped sequential runs)",
+  "ns_per_access_bulk": $bns,
+  "bulk_allocs_per_op": ${baop:-0},
   "headline_benchmark": "BenchmarkHeadline (-benchtime 1x, bench scale)",
   "headline_ns_per_op": ${hns:-0},
   "campaign": "expdriver -scale bench -exp fig5,pagecache -j 1",

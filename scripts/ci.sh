@@ -3,7 +3,7 @@
 #
 #   1. gofmt            formatting drift
 #   2. go vet           stdlib static checks
-#   3. simlint          project determinism rules (SL001..SL007)
+#   3. simlint          project determinism rules (SL001..SL008)
 #   4. go build         both build-tag variants compile
 #   5. go test -race    full suite under the race detector
 #   6. go test -tags simcheck ./internal/...
@@ -11,13 +11,18 @@
 #                       (buddy allocator, TLB arrays, VM accounting,
 #                       scheduler task conservation, promise quiescence)
 #   7. zero-alloc + bench smoke
-#                       the staged access engine's fast path must stay
-#                       allocation-free, and every machine benchmark
-#                       must still run (-benchtime=1x)
+#                       the staged access engine's fast path and the
+#                       bulk AccessRun path must stay allocation-free,
+#                       and every machine benchmark must still run
+#                       (-benchtime=1x)
 #   8. expdriver -j diff
 #                       a bench-scale campaign subset run at -j 1 and
 #                       -j 4 must be byte-identical on every surface
-#   9. docsplice -check
+#   9. bulk-engine equivalence
+#                       the same campaign subset with the bulk path
+#                       force-disabled (GRAPHMEM_NO_BULK=1) must be
+#                       byte-identical to the bulk-enabled run
+#  10. docsplice -check
 #                       EXPERIMENTS.md's measured blocks match results/
 #
 # Run from the repository root: ./scripts/ci.sh
@@ -50,7 +55,7 @@ echo "== test -tags simcheck (runtime audits live)"
 go test -tags simcheck ./internal/...
 
 echo "== zero-alloc fast path + bench smoke"
-go test -run 'TestAccessFastPathZeroAllocs' -count=1 ./internal/machine
+go test -run 'TestAccessFastPathZeroAllocs|TestAccessRunZeroAllocs' -count=1 ./internal/machine
 go test -run '^$' -bench '^Benchmark' -benchtime 1x ./internal/machine
 
 echo "== expdriver determinism: bench-scale -j 1 vs -j 4"
@@ -66,6 +71,14 @@ mkdir -p "$tmp/csv1" "$tmp/csv4"
 diff "$tmp/stdout1.txt" "$tmp/stdout4.txt"
 diff "$tmp/out1.md" "$tmp/out4.md"
 diff -r "$tmp/csv1" "$tmp/csv4"
+
+echo "== bulk-engine equivalence: GRAPHMEM_NO_BULK=1 vs bulk-enabled"
+mkdir -p "$tmp/csvnb"
+GRAPHMEM_NO_BULK=1 "$tmp/expdriver" -scale bench -exp "$subset" -j 1 \
+    -out "$tmp/outnb.md" -csv "$tmp/csvnb" > "$tmp/stdoutnb.txt"
+diff "$tmp/stdout1.txt" "$tmp/stdoutnb.txt"
+diff "$tmp/out1.md" "$tmp/outnb.md"
+diff -r "$tmp/csv1" "$tmp/csvnb"
 
 echo "== docsplice -check (EXPERIMENTS.md in sync with results/)"
 go run ./cmd/docsplice -doc EXPERIMENTS.md -results results/expdriver_full.txt -check
