@@ -1,0 +1,142 @@
+// benchjson merges key=value pairs into a flat JSON object file,
+// preserving the order of existing keys and appending new ones — so
+// scripts/bench.sh can update the benchmark figures it measures without
+// rewriting (or dropping) keys another tool or an older script version
+// recorded. The file's history stays a readable diff: an updated key
+// changes one line in place.
+//
+// Usage:
+//
+//	benchjson -file BENCH_access.json ns_per_access=18.98 campaign="expdriver ..."
+//
+// Each value is parsed as JSON (numbers, booleans, null, quoted
+// strings, even nested objects); anything that does not parse becomes a
+// JSON string, so shell callers never need to quote twice. A missing
+// file starts as an empty object. Output is the object with two-space
+// indentation, one key per line.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	file := flag.String("file", "", "JSON object file to update in place")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchjson -file FILE key=value ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *file == "" || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(*file)
+	if err != nil && !os.IsNotExist(err) {
+		fatal("read %s: %v", *file, err)
+	}
+	order, values, err := decodeObject(data)
+	if err != nil {
+		fatal("parse %s: %v", *file, err)
+	}
+
+	for _, arg := range flag.Args() {
+		key, val, ok := strings.Cut(arg, "=")
+		if !ok || key == "" {
+			fatal("argument %q is not key=value", arg)
+		}
+		if _, exists := values[key]; !exists {
+			order = append(order, key)
+		}
+		values[key] = encodeValue(val)
+	}
+
+	out, err := encodeObject(order, values)
+	if err != nil {
+		fatal("encode: %v", err)
+	}
+	if err := os.WriteFile(*file, out, 0o644); err != nil {
+		fatal("write %s: %v", *file, err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// decodeObject parses a flat JSON object into its key order and raw
+// values. Empty input is an empty object. Duplicate keys keep the last
+// value at the first key's position, matching encoding/json semantics
+// while preserving placement.
+func decodeObject(data []byte) ([]string, map[string]json.RawMessage, error) {
+	values := map[string]json.RawMessage{}
+	if len(data) == 0 {
+		return nil, values, nil
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, nil, err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return nil, nil, fmt.Errorf("top-level value is not an object")
+	}
+	var order []string
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, nil, err
+		}
+		key := tok.(string) // after '{', a syntactically valid key is a string
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return nil, nil, err
+		}
+		if _, exists := values[key]; !exists {
+			order = append(order, key)
+		}
+		values[key] = raw
+	}
+	if _, err := dec.Token(); err != nil { // consume '}'
+		return nil, nil, err
+	}
+	return order, values, nil
+}
+
+// encodeValue interprets a command-line value as JSON when it parses as
+// a single complete value, and as a string otherwise.
+func encodeValue(val string) json.RawMessage {
+	var raw json.RawMessage
+	if err := json.Unmarshal([]byte(val), &raw); err == nil {
+		return raw
+	}
+	quoted, _ := json.Marshal(val) // strings always marshal
+	return quoted
+}
+
+// encodeObject renders the object with keys in order, two-space indent.
+func encodeObject(order []string, values map[string]json.RawMessage) ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString("{\n")
+	for i, key := range order {
+		name, _ := json.Marshal(key)
+		var val bytes.Buffer
+		if err := json.Indent(&val, values[key], "  ", "  "); err != nil {
+			return nil, fmt.Errorf("key %q: %w", key, err)
+		}
+		fmt.Fprintf(&b, "  %s: %s", name, val.String())
+		if i < len(order)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return b.Bytes(), nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func mergeString(t *testing.T, in string, args ...string) string {
+	t.Helper()
+	order, values, err := decodeObject([]byte(in))
+	if err != nil {
+		t.Fatalf("decodeObject: %v", err)
+	}
+	for _, arg := range args {
+		key, val := arg, ""
+		for i := 0; i < len(arg); i++ {
+			if arg[i] == '=' {
+				key, val = arg[:i], arg[i+1:]
+				break
+			}
+		}
+		if _, exists := values[key]; !exists {
+			order = append(order, key)
+		}
+		values[key] = encodeValue(val)
+	}
+	out, err := encodeObject(order, values)
+	if err != nil {
+		t.Fatalf("encodeObject: %v", err)
+	}
+	return string(out)
+}
+
+func TestMergePreservesUnknownKeysAndOrder(t *testing.T) {
+	in := "{\n  \"a\": 1,\n  \"mystery\": {\"kept\": true},\n  \"b\": \"old\"\n}\n"
+	got := mergeString(t, in, "b=new", "c=3")
+	want := "{\n  \"a\": 1,\n  \"mystery\": {\n    \"kept\": true\n  },\n  \"b\": \"new\",\n  \"c\": 3\n}\n"
+	if got != want {
+		t.Errorf("merge output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestMergeFromEmpty(t *testing.T) {
+	got := mergeString(t, "", "x=1.5", "y=hello world")
+	want := "{\n  \"x\": 1.5,\n  \"y\": \"hello world\"\n}\n"
+	if got != want {
+		t.Errorf("merge output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestEncodeValueTypes(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"3.14", "3.14"},                     // number stays a number
+		{"true", "true"},                     // boolean
+		{"null", "null"},                     // null
+		{`"quoted"`, `"quoted"`},             // already-JSON string
+		{"go test ./...", `"go test ./..."`}, // free text becomes a string
+		{"", `""`},                           // empty value is an empty string
+		{"{\"k\":1}", "{\"k\":1}"},           // nested object passes through
+	}
+	for _, tc := range cases {
+		got := string(encodeValue(tc.in))
+		if got != tc.want {
+			t.Errorf("encodeValue(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDecodeRejectsNonObject(t *testing.T) {
+	if _, _, err := decodeObject([]byte("[1,2]")); err == nil {
+		t.Error("decodeObject accepted a top-level array")
+	}
+}
+
+func TestOutputIsValidJSON(t *testing.T) {
+	out := mergeString(t, "", "campaign=expdriver -scale bench", "campaign_wall_seconds=5")
+	var m map[string]any
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if m["campaign_wall_seconds"] != float64(5) {
+		t.Errorf("campaign_wall_seconds = %v, want 5", m["campaign_wall_seconds"])
+	}
+}

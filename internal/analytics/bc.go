@@ -41,11 +41,14 @@ func bcSources(g *graph.Graph, k int) []uint32 {
 }
 
 // runBC executes k-source Brandes against the simulated memory system
-// and returns the (unnormalized) centrality scores.
+// and returns the (unnormalized) centrality scores. Both phases'
+// per-neighbor dist/sigma/delta accesses gather-batch per vertex,
+// exactly as in BFS.
 func (img *Image) runBC(k int) []float64 {
 	g := img.G
 	m := img.M
 	n := g.N
+	gb := img.gbuf
 
 	bc := make([]float64, n)
 	dist := make([]int32, n)
@@ -88,19 +91,21 @@ func (img *Image) runBC(k int) []float64 {
 				sv := sigma[v]
 				lo, hi := g.Offsets[v], g.Offsets[v+1]
 				m.AccessRun(img.edgeAddr(lo), int(hi-lo), graph.EdgeEntryBytes)
+				gb = gb[:0]
 				for e := lo; e < hi; e++ {
 					w := g.Neighbors[e]
-					m.Access(distAddr(w))
+					gb = append(gb, distAddr(w))
 					if dist[w] == -1 {
 						dist[w] = level
-						m.Access(img.workAddr(1-buf, len(next)))
+						gb = append(gb, img.workAddr(1-buf, len(next)))
 						next = append(next, w)
 					}
 					if dist[w] == level {
 						sigma[w] += sv
-						m.Access(sigmaAddr(w))
+						gb = append(gb, sigmaAddr(w))
 					}
 				}
+				m.AccessGather(gb)
 			}
 			cur = next
 			buf = 1 - buf
@@ -120,15 +125,16 @@ func (img *Image) runBC(k int) []float64 {
 			acc := 0.0
 			lo, hi := g.Offsets[v], g.Offsets[v+1]
 			m.AccessRun(img.edgeAddr(lo), int(hi-lo), graph.EdgeEntryBytes)
+			gb = gb[:0]
 			for e := lo; e < hi; e++ {
 				w := g.Neighbors[e]
-				m.Access(distAddr(w))
+				gb = append(gb, distAddr(w))
 				if dist[w] == dv+1 {
-					m.Access(sigmaAddr(w))
-					m.Access(deltaAddr(w))
+					gb = append(gb, sigmaAddr(w), deltaAddr(w))
 					acc += sv / sigma[w] * (1 + delta[w])
 				}
 			}
+			m.AccessGather(gb)
 			delta[v] = acc
 			m.Access(deltaAddr(v))
 			if v != src {
@@ -136,6 +142,7 @@ func (img *Image) runBC(k int) []float64 {
 			}
 		}
 	}
+	img.gbuf = gb
 	return bc
 }
 

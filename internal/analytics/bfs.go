@@ -6,10 +6,15 @@ import "graphmem/internal/graph"
 // programming model): iterate the current worklist, read each vertex's
 // CSR offsets, stream its neighbor IDs from the edge array (one bulk
 // run), and perform the pointer-indirect read-modify-write of the
-// property array entry for every unvisited neighbor.
+// property array entry for every unvisited neighbor. The per-neighbor
+// property reads/writes and frontier pushes are collected into the
+// image's gather buffer in exact scalar order and issued as one
+// AccessGather batch per vertex — the simulated stream is unchanged,
+// only the simulator's dispatch is batched.
 func (img *Image) runBFS(root uint32) []int64 {
 	g := img.G
 	m := img.M
+	gb := img.gbuf
 
 	hops := make([]int64, g.N)
 	for i := range hops {
@@ -36,19 +41,23 @@ func (img *Image) runBFS(root uint32) []int64 {
 			// Sequential neighbor fetch: the whole run streams from the
 			// edge array before the per-neighbor property work.
 			m.AccessRun(img.edgeAddr(lo), int(hi-lo), graph.EdgeEntryBytes)
+			gb = gb[:0]
 			for e := lo; e < hi; e++ {
 				w := g.Neighbors[e]
-				m.Access(img.propAddr(w)) // irregular property read
+				gb = append(gb, img.propAddr(w)) // irregular property read
 				if hops[w] == -1 {
 					hops[w] = level
-					m.Access(img.propAddr(w)) // property write
-					m.Access(img.workAddr(1-buf, len(next)))
+					gb = append(gb,
+						img.propAddr(w), // property write
+						img.workAddr(1-buf, len(next)))
 					next = append(next, w)
 				}
 			}
+			m.AccessGather(gb)
 		}
 		cur, next = next, cur
 		buf = 1 - buf
 	}
+	img.gbuf = gb
 	return hops
 }

@@ -13,9 +13,12 @@ import "graphmem/internal/graph"
 // min-label propagation.
 
 // runCC executes label propagation against the simulated memory system.
+// Per-neighbor label reads/writes and frontier pushes gather-batch per
+// vertex, exactly as in BFS.
 func (img *Image) runCC() []int64 {
 	g := img.G
 	m := img.M
+	gb := img.gbuf
 
 	label := make([]int64, g.N)
 	cur := make([]uint32, 0, g.N)
@@ -37,19 +40,21 @@ func (img *Image) runCC() []int64 {
 			lv := label[v]
 			lo, hi := g.Offsets[v], g.Offsets[v+1]
 			m.AccessRun(img.edgeAddr(lo), int(hi-lo), graph.EdgeEntryBytes)
+			gb = gb[:0]
 			for e := lo; e < hi; e++ {
 				w := g.Neighbors[e]
-				m.Access(img.propAddr(w)) // read neighbor label
+				gb = append(gb, img.propAddr(w)) // read neighbor label
 				if label[w] > lv {
 					label[w] = lv
-					m.Access(img.propAddr(w)) // write
+					gb = append(gb, img.propAddr(w)) // write
 					if !inNext[w] {
 						inNext[w] = true
-						m.Access(img.workAddr(1-buf, len(next)))
+						gb = append(gb, img.workAddr(1-buf, len(next)))
 						next = append(next, w)
 					}
 				}
 			}
+			m.AccessGather(gb)
 		}
 		for _, w := range next {
 			inNext[w] = false
@@ -57,6 +62,7 @@ func (img *Image) runCC() []int64 {
 		cur, next = next, cur
 		buf = 1 - buf
 	}
+	img.gbuf = gb
 	return label
 }
 

@@ -2,8 +2,9 @@
 // push-based BFS, SSSP, and PageRank — running against the simulated
 // memory system. Each algorithm computes real results over the graph
 // while routing every access to the vertex, edge, values, property, and
-// worklist arrays through machine.Access, so the simulator observes the
-// exact access stream the paper characterizes.
+// worklist arrays through the machine's access engine (scalar Access,
+// sequential AccessRun, irregular AccessGather), so the simulator
+// observes the exact access stream the paper characterizes.
 package analytics
 
 import (
@@ -123,6 +124,13 @@ type Image struct {
 	Misc   *vm.VMA // process overhead (stack, loader, heap metadata)
 
 	initialized bool
+
+	// gbuf is the reusable gather buffer: kernels collect one vertex's
+	// irregular neighbor/property addresses into it, in exact scalar
+	// access order, and issue them as a single machine.AccessGather
+	// batch (DESIGN.md §4e). Reused across vertices, so it allocates
+	// only while growing toward the maximum per-vertex batch size.
+	gbuf []uint64
 }
 
 // NewImage mmaps the arrays an app needs. Nothing is faulted in yet:
@@ -133,7 +141,7 @@ func NewImage(m *machine.Machine, g *graph.Graph, app App) (*Image, error) {
 	if app == SSSP && !g.Weighted() {
 		return nil, fmt.Errorf("analytics: SSSP requires a weighted graph")
 	}
-	img := &Image{App: app, G: g, M: m}
+	img := &Image{App: app, G: g, M: m, gbuf: make([]uint64, 0, 256)}
 	img.Vertex = m.Space.Mmap("vertex", uint64(len(g.Offsets))*graph.VertexEntryBytes)
 	img.Edge = m.Space.Mmap("edge", uint64(g.NumEdges())*graph.EdgeEntryBytes)
 	if app == SSSP {

@@ -18,6 +18,7 @@ func (img *Image) runPR(eps float64, maxIters int) ([]float64, int) {
 	g := img.G
 	m := img.M
 	n := g.N
+	gb := img.gbuf
 
 	if eps <= 0 {
 		eps = 1e-4
@@ -52,12 +53,15 @@ func (img *Image) runPR(eps float64, maxIters int) ([]float64, int) {
 			contrib := prDamping * rank[v] / float64(deg)
 			// The neighbor IDs stream from the edge array in one run.
 			m.AccessRun(img.edgeAddr(lo), int(deg), graph.EdgeEntryBytes)
+			// Irregular read-modify-write scatter of next-rank[w],
+			// gather-batched per vertex.
+			gb = gb[:0]
 			for e := lo; e < hi; e++ {
 				w := g.Neighbors[e]
-				// Irregular read-modify-write of next-rank[w].
-				m.Access(img.propAddr(w) + 8)
+				gb = append(gb, img.propAddr(w)+8)
 				nextRank[w] += contrib
 			}
+			m.AccessGather(gb)
 		}
 		// Sequential pass folding next into rank: one property write
 		// per vertex, streamed as a single bulk run.
@@ -74,5 +78,6 @@ func (img *Image) runPR(eps float64, maxIters int) ([]float64, int) {
 			break
 		}
 	}
+	img.gbuf = gb
 	return rank, iters
 }

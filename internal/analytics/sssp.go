@@ -6,10 +6,12 @@ import "graphmem/internal/graph"
 // reading the values (weight) array alongside each neighbor and
 // re-enqueueing vertices whose distance improves. A membership bitmap
 // deduplicates frontier insertions, as work-efficient CPU
-// implementations do.
+// implementations do. The per-neighbor relaxation accesses gather-batch
+// per vertex, exactly as in BFS.
 func (img *Image) runSSSP(root uint32) []int64 {
 	g := img.G
 	m := img.M
+	gb := img.gbuf
 
 	dist := make([]int64, g.N)
 	for i := range dist {
@@ -36,20 +38,22 @@ func (img *Image) runSSSP(root uint32) []int64 {
 			// from the edge and values arrays before the relaxations.
 			m.AccessRun(img.edgeAddr(lo), int(hi-lo), graph.EdgeEntryBytes)
 			m.AccessRun(img.valueAddr(lo), int(hi-lo), graph.ValueEntryBytes)
+			gb = gb[:0]
 			for e := lo; e < hi; e++ {
 				w := g.Neighbors[e]
 				nd := dv + int64(g.Weights[e])
-				m.Access(img.propAddr(w)) // property read
+				gb = append(gb, img.propAddr(w)) // property read
 				if dist[w] == -1 || nd < dist[w] {
 					dist[w] = nd
-					m.Access(img.propAddr(w)) // property write
+					gb = append(gb, img.propAddr(w)) // property write
 					if !inNext[w] {
 						inNext[w] = true
-						m.Access(img.workAddr(1-buf, len(next)))
+						gb = append(gb, img.workAddr(1-buf, len(next)))
 						next = append(next, w)
 					}
 				}
 			}
+			m.AccessGather(gb)
 		}
 		for _, w := range next {
 			inNext[w] = false
@@ -57,5 +61,6 @@ func (img *Image) runSSSP(root uint32) []int64 {
 		cur, next = next, cur
 		buf = 1 - buf
 	}
+	img.gbuf = gb
 	return dist
 }

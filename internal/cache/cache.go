@@ -88,6 +88,7 @@ type level struct {
 	tags     []uint64
 	stamp    []uint32
 	clock    uint32
+	last     int // way index touched by the most recent access (hit or fill)
 }
 
 func newLevel(c LevelConfig) *level {
@@ -110,14 +111,28 @@ func newLevel(c LevelConfig) *level {
 func (l *level) access(line uint64) bool {
 	tag := line + 1
 	base := int(line&l.setsMask) * l.ways
-	victim, oldest := base, uint32(0xFFFFFFFF)
+	// Branchless hit scan: irregular (gather-shaped) streams hit a
+	// different way on nearly every probe, so an early-exit loop pays a
+	// branch mispredict per probe — the conditional select below
+	// compiles to a CMOV and keeps the hit path flat. The victim scan
+	// runs only on a miss, with the original selection logic (first
+	// empty way, else lowest stamp, earliest index breaking ties).
+	hit := -1
 	for w := 0; w < l.ways; w++ {
 		i := base + w
 		if l.tags[i] == tag {
-			l.clock++
-			l.stamp[i] = l.clock
-			return true
+			hit = i
 		}
+	}
+	if hit >= 0 {
+		l.clock++
+		l.stamp[hit] = l.clock
+		l.last = hit
+		return true
+	}
+	victim, oldest := base, uint32(0xFFFFFFFF)
+	for w := 0; w < l.ways; w++ {
+		i := base + w
 		if l.tags[i] == 0 {
 			if oldest != 0 {
 				victim, oldest = i, 0
@@ -131,23 +146,7 @@ func (l *level) access(line uint64) bool {
 	l.clock++
 	l.tags[victim] = tag
 	l.stamp[victim] = l.clock
-	return false
-}
-
-// repeatHit refreshes line's LRU state as n consecutive hitting accesses
-// would: the clock advances by n and the line's stamp lands on the final
-// clock value, with no other way touched. Returns false when the line is
-// not resident (the caller's residency guarantee was broken).
-func (l *level) repeatHit(line, n uint64) bool {
-	tag := line + 1
-	base := int(line&l.setsMask) * l.ways
-	for w := 0; w < l.ways; w++ {
-		if l.tags[base+w] == tag {
-			l.clock += uint32(n)
-			l.stamp[base+w] = l.clock
-			return true
-		}
-	}
+	l.last = victim
 	return false
 }
 
@@ -157,6 +156,7 @@ func (l *level) reset() {
 		l.stamp[i] = 0
 	}
 	l.clock = 0
+	l.last = 0
 }
 
 // Hierarchy is a live two-level data cache.
@@ -198,17 +198,27 @@ const (
 )
 
 // AccessRepeatL1 charges n data accesses to physical address pa that are
-// known to hit the L1: the line was touched by an immediately preceding
-// Access and nothing can have evicted it since (every fill makes the line
-// most-recently-used in its set). Counters and L1 LRU state advance
+// known to hit the L1: pa's line is the line the immediately preceding
+// Access touched (hit or fill — either way the access left it
+// most-recently-used in its set, and its way memoized in last), and no
+// other hierarchy call has intervened. Counters and L1 LRU state advance
 // exactly as n Access calls returning HitL1 would; the LLC is untouched,
-// as it is on any L1 hit. It panics when the line is not resident,
-// because that means a bulk caller's same-line guarantee does not hold.
+// as it is on any L1 hit. The contract is verified under -tags simcheck,
+// where a violation — a bulk caller charging a line its preceding probe
+// did not touch — panics; normal builds trust the caller so the body
+// stays under the inlining budget (a Failf call alone exceeds it), and
+// the engines' differential suites enforce the same guarantee end to
+// end.
 func (h *Hierarchy) AccessRepeatL1(pa, n uint64) {
 	h.stats.Accesses += n
-	if !h.l1.repeatHit(pa>>LineShift, n) {
-		panic(check.Failf("cache: bulk repeat hit on non-resident line pa=%#x", pa))
+	l := h.l1
+	w := l.last
+	if check.Enabled && l.tags[w] != pa>>LineShift+1 {
+		panic(check.Failf("cache: bulk repeat hit on line %#x, but the preceding access touched line %#x",
+			pa>>LineShift, l.tags[w]-1))
 	}
+	l.clock += uint32(n)
+	l.stamp[w] = l.clock
 }
 
 // Access simulates a data access to physical address pa and reports

@@ -37,6 +37,7 @@ func TestRuleFixtures(t *testing.T) {
 		{"sl006", []want{{"SL006", 17}, {"SL006", 18}}},
 		{"sl007", []want{{"SL007", 17}, {"SL007", 18}, {"SL007", 19}, {"SL007", 21}}},
 		{"sl008", []want{{"SL008", 15}, {"SL008", 18}}},
+		{"sl009", []want{{"SL009", 15}, {"SL009", 18}, {"SL009", 21}}},
 		{"clean", nil},
 	}
 	r := NewRunner(moduleRoot(t))

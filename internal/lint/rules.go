@@ -92,6 +92,16 @@ func AllRules() []Rule {
 			Applies: internalOnly,
 			Check:   checkScalarStream,
 		},
+		{
+			ID:   "SL009",
+			Name: "gatherstream",
+			Doc: "no scalar Access loops over collected VA slices in files " +
+				"tagged //simlint:fastpath: a loop that walks a []uint64 of " +
+				"addresses and dispatches each element through Access is the " +
+				"irregular batch that belongs on the AccessGather path",
+			Applies: internalOnly,
+			Check:   checkGatherStream,
+		},
 	}
 }
 
@@ -502,16 +512,120 @@ func checkScalarStream(p *Pass) {
 					return true
 				}
 				for _, arg := range call.Args {
-					if exprUsesVar(p.Info, arg, iv) {
-						p.Reportf(call.Pos(), "scalar Access in a constant-stride loop over %q: a sequential stream belongs on the bulk AccessRun path", iv.Name())
-						break
+					if !exprUsesVar(p.Info, arg, iv) {
+						continue
 					}
+					if indexedUint64Slice(p.Info, arg, iv) {
+						// The variable feeds the address through a
+						// collected VA slice, not stride arithmetic:
+						// that is SL009's gatherstream shape.
+						continue
+					}
+					p.Reportf(call.Pos(), "scalar Access in a constant-stride loop over %q: a sequential stream belongs on the bulk AccessRun path", iv.Name())
+					break
 				}
 				return true
 			})
 			return true
 		})
 	}
+}
+
+// --- SL009: gatherstream ------------------------------------------------
+
+// checkGatherStream is checkScalarStream's irregular twin: in a
+// //simlint:fastpath file, a loop that walks a []uint64 of collected
+// addresses and dispatches each element through scalar Access is
+// exactly the batch AccessGather coalesces. Both walking shapes are
+// flagged: range statements over the slice (whether the body uses the
+// value variable or indexes through the key), and for loops whose
+// post-stepped variable indexes the slice. The engines' own
+// precondition-gated fallback loops advance their index in the loop
+// body, not the post statement — degradation must re-check batching
+// preconditions per element, and that is the shape the rule exempts.
+func checkGatherStream(p *Pass) {
+	for _, file := range p.Files {
+		if !hasFastPathDirective(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch loop := n.(type) {
+			case *ast.RangeStmt:
+				if !isUint64Slice(p.Info, loop.X) {
+					return true
+				}
+				value := identVar(p.Info, loop.Value)
+				key := identVar(p.Info, loop.Key)
+				reportGatherAccess(p, loop.Body, func(arg ast.Expr) bool {
+					return (value != nil && exprUsesVar(p.Info, arg, value)) ||
+						(key != nil && indexedUint64Slice(p.Info, arg, key))
+				})
+			case *ast.ForStmt:
+				if loop.Post == nil {
+					return true
+				}
+				iv := postStepVar(p.Info, loop.Post)
+				if iv == nil {
+					return true
+				}
+				reportGatherAccess(p, loop.Body, func(arg ast.Expr) bool {
+					return indexedUint64Slice(p.Info, arg, iv)
+				})
+			}
+			return true
+		})
+	}
+}
+
+// reportGatherAccess flags every Access call in body that has an
+// argument matching isVA.
+func reportGatherAccess(p *Pass, body *ast.BlockStmt, isVA func(ast.Expr) bool) {
+	ast.Inspect(body, func(b ast.Node) bool {
+		call, ok := b.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(p.Info, call)
+		if f == nil || f.Name() != "Access" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if isVA(arg) {
+				p.Reportf(call.Pos(), "scalar Access over a collected VA slice: an irregular batch belongs on the AccessGather path")
+				break
+			}
+		}
+		return true
+	})
+}
+
+// isUint64Slice reports whether expr's type is (or underlies) []uint64
+// — the address-slice type every gather batch uses.
+func isUint64Slice(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok {
+		return false
+	}
+	s, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+// indexedUint64Slice reports whether expr contains an index into a
+// []uint64-typed operand whose index expression mentions v.
+func indexedUint64Slice(info *types.Info, expr ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if idx, ok := n.(*ast.IndexExpr); ok &&
+			isUint64Slice(info, idx.X) && exprUsesVar(info, idx.Index, v) {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // postStepVar returns the variable a loop post statement advances by a

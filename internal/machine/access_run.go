@@ -103,10 +103,14 @@ func (m *Machine) bulkSegment(va uint64, count int, stride uint64) (uint64, int)
 			}
 			// Truncate the batch at the event deadline: the t-th hit is
 			// the first access at which cycles reaches nextEvent, exactly
-			// where the scalar loop would dispatch.
+			// where the scalar loop would dispatch. The divide only runs
+			// when the deadline lands inside this batch
+			// (gap ≤ (n−1)·cHit ⇔ ceil(gap/cHit) < n; the ceil == n case
+			// was a no-op truncation), keeping the common path
+			// division-free.
 			gap := m.nextEvent - m.cycles // > 0: loop invariant
-			if t := (gap-1)/cHit + 1; t <= n {
-				n = t
+			if gap <= (n-1)*cHit {
+				n = (gap-1)/cHit + 1
 			}
 			m.Cache.AccessRepeatL1(va+paDelta, n)
 			m.cycles += n * cHit

@@ -14,17 +14,32 @@ import (
 // of access.go keeps the fast path small enough for the compiler to lay
 // out tightly and makes the rare/common split auditable.
 
-// refillTranslation reloads the machine's one-entry translation cache
-// for va, servicing a page fault if the page is unmapped or swapped. It
-// returns the fault cycles charged to the critical path (zero when the
-// page was already mapped and only the cache was cold).
+// refillTranslation reloads the machine's primary translation-cache
+// entry for va, servicing a page fault if the page is unmapped or
+// swapped. It returns the fault cycles charged to the critical path
+// (zero when the page was already mapped and only the cache was cold).
+//
+// Before walking the page table it probes the victim array (trWide): an
+// irregular gather alternating between a handful of hot pages misses the
+// primary entry on nearly every reference, and the victim hit resolves
+// it without the radix walk. The probe is functional-only — a Translate
+// success charges no cycles either — so the modeled cost is unchanged.
+// On a victim hit the displaced primary entry swaps into the hit slot.
 //
 // The kernel's HandleFault returns the translation of the mapping it
 // installed, so the fault path needs no second radix walk: the returned
 // translation seeds the cache directly. Any shootdowns fired while the
 // fault was serviced (reclaim, demotion, compaction) happened before
-// HandleFault returned, so the seed cannot be stale.
+// HandleFault returned — clearing every cache entry, victims included —
+// so the seed cannot be stale.
 func (m *Machine) refillTranslation(va uint64) uint64 {
+	for i := range m.trWide {
+		if e := m.trWide[i]; va-e.base < e.span {
+			m.trWide[i] = trEntry{base: m.trBase, span: m.trSpan, tr: m.tr}
+			m.tr, m.trBase, m.trSpan = e.tr, e.base, e.span
+			return 0
+		}
+	}
 	tr, fault, ok := m.Space.Translate(va)
 	var fc uint64
 	if !ok {
@@ -37,7 +52,23 @@ func (m *Machine) refillTranslation(va uint64) uint64 {
 	m.tr = tr
 	m.trBase = tr.BaseVA
 	m.trSpan = tr.Size.Bytes()
+	m.trWide[m.trVictim] = trEntry{base: m.trBase, span: m.trSpan, tr: tr}
+	m.trVictim++
+	if m.trVictim == trCacheWays {
+		m.trVictim = 0
+	}
 	return fc
+}
+
+// accessEach dispatches every address of a gather batch through the
+// scalar Access path — AccessGather's degradation loop. It lives in this
+// untagged file because looping scalar Access over a collected VA slice
+// is exactly what rule SL009 forbids in fastpath-tagged files; here it
+// is the deliberate fallback, not a missed batching opportunity.
+func (m *Machine) accessEach(vas []uint64) {
+	for _, va := range vas {
+		m.Access(va)
+	}
 }
 
 // translateMiss charges the translation cost beyond an L1 TLB hit: an

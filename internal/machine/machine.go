@@ -8,16 +8,19 @@
 // configurations are ratios of these counters over identical access
 // streams.
 //
-// The access engine is staged across five files (DESIGN.md §4):
+// The access engine is staged across six files (DESIGN.md §4):
 //
-//   - access.go       the branch-lean fast path: one translation-cache
+//   - access.go        the branch-lean fast path: one translation-cache
 //     compare, TLB probe, data-cache probe, and inlined allocation-free
 //     accounting. Tagged //simlint:fastpath (rule SL007).
-//   - access_run.go   the bulk path: AccessRun coalesces sequential
+//   - access_run.go    the bulk path: AccessRun coalesces sequential
 //     streams into page segments and line batches with aggregated,
 //     scalar-identical accounting. Tagged //simlint:fastpath.
-//   - access_slow.go  everything rare: page faults, STLB probes, page
-//     walks, simulated-PTE fetches, TLB fills.
+//   - access_gather.go the gather path: AccessGather batches irregular
+//     (data-dependent) address vectors, exploiting same-page and
+//     same-line runs inside a batch. Tagged //simlint:fastpath.
+//   - access_slow.go   everything rare: page faults, STLB probes, page
+//     walks, simulated-PTE fetches, TLB fills, scalar degradation loops.
 //   - events.go       the event layer: background actors (khugepaged,
 //     tickers) register cycle deadlines; the fast path pays a single
 //     compare per access and dispatches only when a deadline is due.
@@ -66,6 +69,19 @@ func DefaultConfig(memBytes uint64) Config {
 	}
 }
 
+// trCacheWays is the number of victim entries behind the primary
+// translation-cache entry. Gathers over power-law neighbor lists revisit
+// a small working set of hot property pages; a handful of ways captures
+// most of the revisits without turning the refill probe into a scan.
+const trCacheWays = 8
+
+// trEntry is one VA-tagged victim entry of the translation cache.
+// span == 0 means empty.
+type trEntry struct {
+	base, span uint64
+	tr         vm.Translation
+}
+
 // Machine is one simulated host running one workload.
 type Machine struct {
 	Mem    *memsys.Memory
@@ -84,14 +100,30 @@ type Machine struct {
 	// by the GRAPHMEM_NO_BULK environment variable or SetBulk.
 	noBulk bool
 
-	// One-entry post-TLB translation cache: the page installed by the
-	// last translate/fault, keyed by [trBase, trBase+trSpan). A hit
-	// skips the radix walk in Space.Translate entirely; shootdown()
-	// clears it whenever any mapping changes. trSpan == 0 means empty
-	// (the unsigned compare va-trBase >= trSpan then always misses).
-	tr     vm.Translation
-	trBase uint64
-	trSpan uint64
+	// noGather forces AccessGather onto the per-access path
+	// (access_gather.go). Like noBulk it exists to prove equivalence:
+	// set by the GRAPHMEM_NO_GATHER environment variable or SetGather.
+	noGather bool
+
+	// Post-TLB translation cache: the primary entry is the page
+	// installed by the last translate/fault, keyed by
+	// [trBase, trBase+trSpan), and is the only entry the fast path
+	// compares against. A hit skips the radix walk in Space.Translate
+	// entirely; shootdown() clears every entry whenever any mapping
+	// changes. trSpan == 0 means empty (the unsigned compare
+	// va-trBase >= trSpan then always misses).
+	//
+	// trWide is a small VA-tagged victim array behind the primary
+	// entry, probed only on a primary miss (access_slow.go). It keeps
+	// recently used pages resolvable without a radix walk when an
+	// irregular gather alternates between a handful of pages. The cache
+	// is functional-only — Translate charges no cycles — so widening it
+	// changes no modeled cost, only simulator speed (MODEL.md §1).
+	tr       vm.Translation
+	trBase   uint64
+	trSpan   uint64
+	trWide   [trCacheWays]trEntry
+	trVictim int
 
 	// Event layer state (events.go): the earliest cycle at which any
 	// background actor is due. The fast path compares cycles against
@@ -117,14 +149,15 @@ func New(cfg Config) *Machine {
 	space := vm.NewAddressSpace(mem)
 	space.SimPageTables = cfg.SimulatePageTables
 	m := &Machine{
-		simPT:  cfg.SimulatePageTables,
-		noBulk: os.Getenv("GRAPHMEM_NO_BULK") != "",
-		Mem:    mem,
-		Space:  space,
-		Kernel: oskernel.New(cfg.Kernel, space, cfg.Cost),
-		TLB:    tlb.New(cfg.TLB),
-		Cache:  cache.New(cfg.Cache),
-		Model:  cfg.Cost,
+		simPT:    cfg.SimulatePageTables,
+		noBulk:   os.Getenv("GRAPHMEM_NO_BULK") != "",
+		noGather: os.Getenv("GRAPHMEM_NO_GATHER") != "",
+		Mem:      mem,
+		Space:    space,
+		Kernel:   oskernel.New(cfg.Kernel, space, cfg.Cost),
+		TLB:      tlb.New(cfg.TLB),
+		Cache:    cache.New(cfg.Cache),
+		Model:    cfg.Cost,
 	}
 	space.Shootdown = m.shootdown
 	m.phase = PhaseStats{Name: "boot"}
@@ -132,11 +165,17 @@ func New(cfg Config) *Machine {
 	return m
 }
 
-// shootdown is the address space's mapping-change callback: it drops the
-// machine's one-entry translation cache (conservatively, whatever the
-// changed range was) and forwards the invalidation to the TLB hierarchy.
+// shootdown is the address space's mapping-change callback: it drops
+// every entry of the machine's translation cache — the primary entry and
+// the whole victim array, conservatively, whatever the changed range was
+// — and forwards the invalidation to the TLB hierarchy. Clearing
+// everything keeps the widened cache trivially coherent: no entry can
+// outlive any mapping change.
 func (m *Machine) shootdown(va uint64, size vm.PageSizeClass) {
 	m.trSpan = 0
+	for i := range m.trWide {
+		m.trWide[i].span = 0
+	}
 	m.TLB.Invalidate(va, size)
 }
 
@@ -157,6 +196,12 @@ func (m *Machine) AddCycles(c uint64) {
 // charging is cycle-identical to per-access dispatch — and exists for
 // the equivalence gate in CI and for differential tests.
 func (m *Machine) SetBulk(enabled bool) { m.noBulk = !enabled }
+
+// SetGather enables or disables the gather access engine (AccessGather's
+// batched path). Like SetBulk, disabling is observationally invisible —
+// gather charging is cycle-identical to per-access dispatch — and exists
+// for the equivalence gate in CI and for differential tests.
+func (m *Machine) SetGather(enabled bool) { m.noGather = !enabled }
 
 // Touch faults in (and accesses) every page of the byte range
 // [va, va+bytes), in ascending order — the simulator's equivalent of an

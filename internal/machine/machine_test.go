@@ -8,6 +8,7 @@ import (
 	"graphmem/internal/memsys"
 	"graphmem/internal/oskernel"
 	"graphmem/internal/tlb"
+	"graphmem/internal/vm"
 )
 
 func newTestMachine(t *testing.T, kcfg oskernel.Config) *Machine {
@@ -397,4 +398,90 @@ func TestTranslationCacheInvalidatedOnUnmap(t *testing.T) {
 		}
 	}()
 	m.Access(v.Base)
+}
+
+// TestWideTranslationCacheInvalidatedOnShootdown extends the unmap
+// regression to the widened cache: after seeding the primary entry and
+// every victim entry with distinct pages, a single mapping change must
+// drop them all — a survivor in any way would be a silent stale-frame
+// bug the gather engine could hit on its next segment.
+func TestWideTranslationCacheInvalidatedOnShootdown(t *testing.T) {
+	m := newTestMachine(t, oskernel.BaselineConfig())
+	v := m.Space.Mmap("a", (trCacheWays+2)*memsys.PageSize)
+	for p := uint64(0); p < trCacheWays+2; p++ {
+		m.Access(v.Base + p*memsys.PageSize)
+	}
+	live := 0
+	for i := range m.trWide {
+		if m.trWide[i].span != 0 {
+			live++
+		}
+	}
+	if live != trCacheWays {
+		t.Fatalf("seeded %d victim entries, want all %d", live, trCacheWays)
+	}
+	m.Space.Munmap(v)
+	if m.trSpan != 0 {
+		t.Fatal("primary translation-cache entry survived munmap")
+	}
+	for i := range m.trWide {
+		if m.trWide[i].span != 0 {
+			t.Fatalf("victim translation-cache entry %d survived munmap", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access after munmap did not panic: stale victim translation")
+		}
+	}()
+	m.Access(v.Base + memsys.PageSize)
+}
+
+// TestWideTranslationCacheShootdownMidGather drives a shootdown through
+// a page fault in the middle of an AccessGather batch: the batch's
+// footprint exceeds physical memory, so faults past capacity trigger
+// reclaim, whose swap-outs fire Space.Shootdown while the gather is
+// mid-flight with live translation-cache entries. A wrapper around the
+// shootdown hook asserts every entry — primary and victims — is dropped
+// at the exact moment each shootdown fires.
+func TestWideTranslationCacheShootdownMidGather(t *testing.T) {
+	m := New(Config{
+		MemoryBytes: 4 << 20,
+		TLB:         tlb.Haswell(),
+		Cache:       cache.Haswell(),
+		Cost:        cost.Fast(),
+		Kernel:      oskernel.BaselineConfig(),
+	})
+	v := m.Space.Mmap("a", 8<<20)
+	m.RegisterArray(v)
+
+	fired := 0
+	orig := m.Space.Shootdown
+	m.Space.Shootdown = func(va uint64, size vm.PageSizeClass) {
+		orig(va, size)
+		fired++
+		if m.trSpan != 0 {
+			t.Errorf("shootdown %d left the primary translation-cache entry live", fired)
+		}
+		for i := range m.trWide {
+			if m.trWide[i].span != 0 {
+				t.Errorf("shootdown %d left victim translation-cache entry %d live", fired, i)
+			}
+		}
+	}
+
+	// One batch of short same-line runs over twice the machine's memory.
+	vas := make([]uint64, 0, 3*2048)
+	for p := uint64(0); p < 2048; p++ {
+		va := v.Base + p*memsys.PageSize
+		vas = append(vas, va, va+8, va+16)
+	}
+	m.AccessGather(vas)
+
+	if fired == 0 {
+		t.Fatal("no shootdown fired mid-gather: reclaim never ran")
+	}
+	if m.Kernel.Stats().SwapOuts == 0 {
+		t.Fatal("expected reclaim swap-outs under memory oversubscription")
+	}
 }

@@ -4,10 +4,14 @@
 # Runs the per-access microbenchmark (BenchmarkAccess: the steady-state
 # fast path — TLB hit, mapped page, L1D hit), the bulk-engine benchmark
 # (BenchmarkAccessRun: edge-scan-shaped sequential runs through
-# AccessRun, ns per simulated access), the end-to-end headline
-# experiment benchmark, and a timed bench-scale campaign subset, then
-# writes the figures to BENCH_access.json so subsequent PRs have a
-# recorded baseline to compare against.
+# AccessRun, ns per simulated access), the gather-engine pair
+# (BenchmarkAccessGather vs BenchmarkAccessGatherScalar: the same
+# irregular neighbor-gather-shaped stream through AccessGather and
+# through per-element Access), the end-to-end headline experiment
+# benchmark, and a timed bench-scale campaign subset, then merges the
+# figures into BENCH_access.json via cmd/benchjson — updated keys
+# change in place, keys this script does not know about survive — so
+# subsequent PRs have a recorded baseline to compare against.
 #
 # Usage: ./scripts/bench.sh [output.json]
 #   BENCHTIME=5s ./scripts/bench.sh    # longer micro runs
@@ -39,6 +43,18 @@ if [ -z "$bns" ]; then
     exit 1
 fi
 
+echo "== BenchmarkAccessGather vs scalar (internal/machine, gather engine)" >&2
+gather=$(go test -run '^$' -bench '^BenchmarkAccessGather(Scalar)?$' -benchmem \
+    -benchtime "${BENCHTIME:-2s}" ./internal/machine)
+echo "$gather" >&2
+gns=$(echo "$gather" | awk '$1 ~ /^BenchmarkAccessGather(-[0-9]+)?$/ {print $3}')
+gsns=$(echo "$gather" | awk '$1 ~ /^BenchmarkAccessGatherScalar(-[0-9]+)?$/ {print $3}')
+gaop=$(echo "$gather" | awk '$1 ~ /^BenchmarkAccessGather(-[0-9]+)?$/ {print $7}')
+if [ -z "$gns" ] || [ -z "$gsns" ]; then
+    echo "bench.sh: could not parse BenchmarkAccessGather output" >&2
+    exit 1
+fi
+
 echo "== BenchmarkHeadline (end-to-end, 1 iteration)" >&2
 headline=$(go test -run '^$' -bench '^BenchmarkHeadline$' -benchtime 1x .)
 echo "$headline" >&2
@@ -53,20 +69,21 @@ campaign_end=$(date +%s)
 rm -f "$bin"
 wall=$((campaign_end - campaign_start))
 
-cat > "$out" <<EOF
-{
-  "microbenchmark": "BenchmarkAccess (internal/machine, steady-state fast path)",
-  "ns_per_access": $ns,
-  "bytes_per_op": ${bop:-0},
-  "allocs_per_op": ${aop:-0},
-  "bulk_microbenchmark": "BenchmarkAccessRun (internal/machine, edge-scan-shaped sequential runs)",
-  "ns_per_access_bulk": $bns,
-  "bulk_allocs_per_op": ${baop:-0},
-  "headline_benchmark": "BenchmarkHeadline (-benchtime 1x, bench scale)",
-  "headline_ns_per_op": ${hns:-0},
-  "campaign": "expdriver -scale bench -exp fig5,pagecache -j 1",
-  "campaign_wall_seconds": $wall
-}
-EOF
+go run ./cmd/benchjson -file "$out" \
+    "microbenchmark=BenchmarkAccess (internal/machine, steady-state fast path)" \
+    "ns_per_access=$ns" \
+    "bytes_per_op=${bop:-0}" \
+    "allocs_per_op=${aop:-0}" \
+    "bulk_microbenchmark=BenchmarkAccessRun (internal/machine, edge-scan-shaped sequential runs)" \
+    "ns_per_access_bulk=$bns" \
+    "bulk_allocs_per_op=${baop:-0}" \
+    "gather_microbenchmark=BenchmarkAccessGather vs BenchmarkAccessGatherScalar (internal/machine, irregular neighbor-gather-shaped stream)" \
+    "ns_per_access_gather=$gns" \
+    "ns_per_access_gather_scalar=$gsns" \
+    "gather_allocs_per_op=${gaop:-0}" \
+    "headline_benchmark=BenchmarkHeadline (-benchtime 1x, bench scale)" \
+    "headline_ns_per_op=${hns:-0}" \
+    "campaign=expdriver -scale bench -exp fig5,pagecache -j 1" \
+    "campaign_wall_seconds=$wall"
 echo "wrote $out" >&2
 cat "$out"

@@ -3,7 +3,7 @@
 #
 #   1. gofmt            formatting drift
 #   2. go vet           stdlib static checks
-#   3. simlint          project determinism rules (SL001..SL008)
+#   3. simlint          project determinism rules (SL001..SL009)
 #   4. go build         both build-tag variants compile
 #   5. go test -race    full suite under the race detector
 #   6. go test -tags simcheck ./internal/...
@@ -11,10 +11,10 @@
 #                       (buddy allocator, TLB arrays, VM accounting,
 #                       scheduler task conservation, promise quiescence)
 #   7. zero-alloc + bench smoke
-#                       the staged access engine's fast path and the
-#                       bulk AccessRun path must stay allocation-free,
-#                       and every machine benchmark must still run
-#                       (-benchtime=1x)
+#                       the staged access engine's fast path, the bulk
+#                       AccessRun path, and the gather AccessGather
+#                       path must stay allocation-free, and every
+#                       machine benchmark must still run (-benchtime=1x)
 #   8. expdriver -j diff
 #                       a bench-scale campaign subset run at -j 1 and
 #                       -j 4 must be byte-identical on every surface
@@ -22,7 +22,11 @@
 #                       the same campaign subset with the bulk path
 #                       force-disabled (GRAPHMEM_NO_BULK=1) must be
 #                       byte-identical to the bulk-enabled run
-#  10. docsplice -check
+#  10. gather-engine equivalence
+#                       the same campaign subset with the gather path
+#                       force-disabled (GRAPHMEM_NO_GATHER=1) must be
+#                       byte-identical to the gather-enabled run
+#  11. docsplice -check
 #                       EXPERIMENTS.md's measured blocks match results/
 #
 # Run from the repository root: ./scripts/ci.sh
@@ -55,7 +59,7 @@ echo "== test -tags simcheck (runtime audits live)"
 go test -tags simcheck ./internal/...
 
 echo "== zero-alloc fast path + bench smoke"
-go test -run 'TestAccessFastPathZeroAllocs|TestAccessRunZeroAllocs' -count=1 ./internal/machine
+go test -run 'TestAccessFastPathZeroAllocs|TestAccessRunZeroAllocs|TestAccessGatherZeroAllocs' -count=1 ./internal/machine
 go test -run '^$' -bench '^Benchmark' -benchtime 1x ./internal/machine
 
 echo "== expdriver determinism: bench-scale -j 1 vs -j 4"
@@ -79,6 +83,14 @@ GRAPHMEM_NO_BULK=1 "$tmp/expdriver" -scale bench -exp "$subset" -j 1 \
 diff "$tmp/stdout1.txt" "$tmp/stdoutnb.txt"
 diff "$tmp/out1.md" "$tmp/outnb.md"
 diff -r "$tmp/csv1" "$tmp/csvnb"
+
+echo "== gather-engine equivalence: GRAPHMEM_NO_GATHER=1 vs gather-enabled"
+mkdir -p "$tmp/csvng"
+GRAPHMEM_NO_GATHER=1 "$tmp/expdriver" -scale bench -exp "$subset" -j 1 \
+    -out "$tmp/outng.md" -csv "$tmp/csvng" > "$tmp/stdoutng.txt"
+diff "$tmp/stdout1.txt" "$tmp/stdoutng.txt"
+diff "$tmp/out1.md" "$tmp/outng.md"
+diff -r "$tmp/csv1" "$tmp/csvng"
 
 echo "== docsplice -check (EXPERIMENTS.md in sync with results/)"
 go run ./cmd/docsplice -doc EXPERIMENTS.md -results results/expdriver_full.txt -check
