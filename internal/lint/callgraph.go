@@ -1,0 +1,588 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide call graph the interprocedural rules
+// (SL010 simpath, SL011 isolation, SL012 fastpath-reach) run on. Nodes
+// are module functions — declared functions, methods, and function
+// literals — and edges are possible calls:
+//
+//   - static calls and method calls on concrete receivers resolve
+//     directly through the type checker;
+//   - interface method calls are devirtualized by class-hierarchy
+//     analysis: an edge is added to every module type's method that
+//     implements the called interface;
+//   - calls through function-typed values are resolved conservatively
+//     to every address-taken module function (and every function
+//     literal) with an identical signature;
+//   - creating a function literal adds an edge to it, conservatively
+//     assuming any created closure may later run.
+//
+// Calls into packages outside the module (the stdlib) are not edges:
+// their effects are modeled as intrinsic facts at the call site instead
+// (facts.go) — time.Now is a wall-clock fact, rand.Intn a global-rand
+// fact, and so on. Package-level variable initializer expressions run
+// before any entrypoint and contribute no edges.
+
+// graphNode is one function in the call graph.
+type graphNode struct {
+	fn  *types.Func  // declared function or method; nil for literals
+	lit *ast.FuncLit // function literal; nil for declared functions
+
+	name string // qualified display name, e.g. "machine.(*Machine).Access"
+	pkg  *types.Package
+	pos  token.Pos
+	sig  *types.Signature
+
+	// inInit marks bodies that run only during package initialization
+	// (func init and literals created inside it): their package-level
+	// writes do not break post-init isolation.
+	inInit bool
+
+	// addrTaken marks functions referenced as values: candidates for
+	// conservative indirect-call resolution. Literals always are.
+	addrTaken bool
+
+	out       []graphEdge
+	intrinsic []factSource
+	summary   factSet
+
+	litSeq int // counter naming nested literals deterministically
+}
+
+// graphEdge is one possible call.
+type graphEdge struct {
+	to  *graphNode
+	pos token.Pos
+	// panicArg marks calls that occur only while building a panic
+	// argument: code on a panicking edge never returns, so allocation
+	// there is exempt from the fast-path contract (determinism facts
+	// still propagate).
+	panicArg bool
+}
+
+// writeSite records one write to a package-level variable.
+type writeSite struct {
+	node *graphNode
+	pos  token.Pos
+}
+
+// callGraph is the assembled module graph plus the global write index.
+type callGraph struct {
+	fset   *token.FileSet
+	nodes  []*graphNode // deterministic order: packages by path, files in order
+	byFunc map[*types.Func]*graphNode
+
+	// writes indexes every non-init write to a package-level variable,
+	// module-wide (SL011's evidence).
+	writes map[*types.Var][]writeSite
+}
+
+// loadedPkg bundles what the graph builder needs per package.
+type loadedPkg struct {
+	path  string
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// pendingIface is an unresolved interface method call site.
+type pendingIface struct {
+	from     *graphNode
+	iface    *types.Interface
+	method   string
+	pos      token.Pos
+	panicArg bool
+}
+
+// pendingIndirect is an unresolved call through a function-typed value.
+type pendingIndirect struct {
+	from     *graphNode
+	sig      *types.Signature
+	pos      token.Pos
+	panicArg bool
+}
+
+type graphBuilder struct {
+	g         *callGraph
+	pkgs      []loadedPkg
+	ifaces    []pendingIface
+	indirects []pendingIndirect
+}
+
+// buildCallGraph constructs the graph over the given packages (already
+// sorted by import path for determinism).
+func buildCallGraph(fset *token.FileSet, pkgs []loadedPkg) *callGraph {
+	b := &graphBuilder{
+		g: &callGraph{
+			fset:   fset,
+			byFunc: make(map[*types.Func]*graphNode),
+			writes: make(map[*types.Var][]writeSite),
+		},
+		pkgs: pkgs,
+	}
+	// Phase 1: a node per function declaration, so cross-package call
+	// edges can resolve regardless of build order.
+	for _, lp := range pkgs {
+		for _, file := range lp.files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := lp.info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &graphNode{
+					fn:     fn,
+					name:   funcDisplayName(fn),
+					pkg:    lp.pkg,
+					pos:    fd.Name.Pos(),
+					sig:    fn.Type().(*types.Signature),
+					inInit: fd.Recv == nil && fd.Name.Name == "init",
+				}
+				b.g.byFunc[fn] = n
+				b.g.nodes = append(b.g.nodes, n)
+			}
+		}
+	}
+	// Phase 2: walk bodies, creating literal nodes, intrinsic facts,
+	// direct edges, and the pending indirect/interface call lists.
+	for _, lp := range pkgs {
+		for _, file := range lp.files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := lp.info.Defs[fd.Name].(*types.Func)
+				if n := b.g.byFunc[fn]; n != nil {
+					b.walkBody(n, fd.Body, lp)
+				}
+			}
+		}
+	}
+	// Phase 3: conservative resolution of the pending call sites.
+	b.resolveInterfaces()
+	b.resolveIndirects()
+	return b.g
+}
+
+// funcDisplayName renders "pkg.Func" or "pkg.(*Recv).Method".
+func funcDisplayName(fn *types.Func) string {
+	pkg := fn.Pkg()
+	qual := types.RelativeTo(pkg)
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		return fmt.Sprintf("%s.(%s).%s", pkg.Name(), types.TypeString(recv.Type(), qual), fn.Name())
+	}
+	return pkg.Name() + "." + fn.Name()
+}
+
+// walkBody records owner's intrinsic facts and outgoing calls. Nested
+// function literals become child nodes walked recursively; their
+// statements do not contribute to owner.
+func (b *graphBuilder) walkBody(owner *graphNode, body *ast.BlockStmt, lp loadedPkg) {
+	info := lp.info
+	// Call-position identifiers: a function name used as a call's Fun
+	// is not address-taken; any other use of it is.
+	calleeIdents := make(map[*ast.Ident]bool)
+	// Source spans of panic arguments seen so far; preorder traversal
+	// guarantees a panic call is visited before its argument subtree.
+	var panicSpans [][2]token.Pos
+	inPanicArg := func(pos token.Pos) bool {
+		for _, s := range panicSpans {
+			if pos >= s[0] && pos < s[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			owner.litSeq++
+			child := &graphNode{
+				lit:       e,
+				name:      fmt.Sprintf("%s.func%d", owner.name, owner.litSeq),
+				pkg:       owner.pkg,
+				pos:       e.Pos(),
+				inInit:    owner.inInit,
+				addrTaken: true,
+			}
+			if sig, ok := info.Types[e].Type.(*types.Signature); ok {
+				child.sig = sig
+			}
+			b.g.nodes = append(b.g.nodes, child)
+			owner.out = append(owner.out, graphEdge{to: child, pos: e.Pos(), panicArg: inPanicArg(e.Pos())})
+			// Creating a capturing closure heap-allocates both the
+			// closure and the captured variables.
+			if !inPanicArg(e.Pos()) && capturesLocal(info, owner.pkg, e) {
+				owner.addIntrinsic(factAllocates, e.Pos(), "closure capturing locals")
+			}
+			b.walkBody(child, e.Body, lp)
+			return false
+
+		case *ast.CallExpr:
+			b.recordCall(owner, e, lp, calleeIdents, &panicSpans, inPanicArg)
+
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[e.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					recordMapRangeFact(owner, info, e)
+				}
+			}
+
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				b.recordWrite(owner, lhs, info, inPanicArg)
+			}
+
+		case *ast.IncDecStmt:
+			b.recordWrite(owner, e.X, info, inPanicArg)
+
+		case *ast.CompositeLit:
+			if !inPanicArg(e.Pos()) {
+				if tv, ok := info.Types[e]; ok {
+					switch tv.Type.Underlying().(type) {
+					case *types.Slice, *types.Map:
+						owner.addIntrinsic(factAllocates, e.Pos(), "composite literal")
+					}
+				}
+			}
+
+		case *ast.UnaryExpr:
+			if e.Op == token.AND && !inPanicArg(e.Pos()) {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					owner.addIntrinsic(factAllocates, e.Pos(), "&composite literal")
+				}
+			}
+
+		case *ast.Ident:
+			if !calleeIdents[e] {
+				if fn, ok := info.Uses[e].(*types.Func); ok {
+					if n := b.g.byFunc[fn]; n != nil {
+						n.addrTaken = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recordCall classifies one call expression: builtin, stdlib intrinsic,
+// direct module call, interface call, conversion, or indirect call.
+func (b *graphBuilder) recordCall(owner *graphNode, call *ast.CallExpr, lp loadedPkg,
+	calleeIdents map[*ast.Ident]bool, panicSpans *[][2]token.Pos, inPanicArg func(token.Pos) bool) {
+	info := lp.info
+	fun := ast.Unparen(call.Fun)
+	panicArg := inPanicArg(call.Pos())
+
+	// Note the callee identifier so the address-taken scan skips it.
+	switch f := fun.(type) {
+	case *ast.Ident:
+		calleeIdents[f] = true
+	case *ast.SelectorExpr:
+		calleeIdents[f.Sel] = true
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append", "make", "new":
+				if !panicArg {
+					owner.addIntrinsic(factAllocates, call.Pos(), id.Name)
+				}
+			case "panic":
+				for _, arg := range call.Args {
+					*panicSpans = append(*panicSpans, [2]token.Pos{arg.Pos(), arg.End()})
+				}
+			case "delete":
+				if len(call.Args) == 2 {
+					b.recordWrite(owner, call.Args[0], info, inPanicArg)
+				}
+			}
+			return
+		}
+	}
+
+	// Type conversions carry no edge.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return
+	}
+
+	if f := calleeFunc(info, call); f != nil {
+		b.recordFuncCall(owner, f, call.Pos(), panicArg)
+		return
+	}
+
+	// A call through a function-typed value: resolve conservatively
+	// against the address-taken set later.
+	if tv, ok := info.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			b.indirects = append(b.indirects, pendingIndirect{
+				from: owner, sig: sig, pos: call.Pos(), panicArg: panicArg,
+			})
+		}
+	}
+}
+
+// recordFuncCall handles a call whose callee object is known: stdlib
+// intrinsics, interface method calls, and direct module calls.
+func (b *graphBuilder) recordFuncCall(owner *graphNode, f *types.Func, pos token.Pos, panicArg bool) {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return // error.Error and other universe-scope methods
+	}
+	sig, _ := f.Type().(*types.Signature)
+
+	// Nondeterministic stdlib state becomes an intrinsic fact at the
+	// call site; other stdlib calls are fact-free (their bodies are not
+	// analyzed).
+	switch pkg.Path() {
+	case "time":
+		switch f.Name() {
+		case "Now", "Since", "Until":
+			owner.addIntrinsic(factWallclock, pos, "time."+f.Name())
+			return
+		}
+	case "math/rand", "math/rand/v2":
+		if (sig == nil || sig.Recv() == nil) && !globalRandAllowed[f.Name()] {
+			owner.addIntrinsic(factGlobalRand, pos, "rand."+f.Name())
+			return
+		}
+	}
+
+	if sig != nil && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+				b.ifaces = append(b.ifaces, pendingIface{
+					from: owner, iface: iface, method: f.Name(), pos: pos, panicArg: panicArg,
+				})
+			}
+			return
+		}
+	}
+	if callee := b.g.byFunc[f]; callee != nil {
+		owner.out = append(owner.out, graphEdge{to: callee, pos: pos, panicArg: panicArg})
+	}
+}
+
+// recordWrite inspects an assignment target (or delete operand): a
+// package-level variable as the base of the target is a global write.
+func (b *graphBuilder) recordWrite(owner *graphNode, target ast.Expr, info *types.Info, inPanicArg func(token.Pos) bool) {
+	v := baseGlobalVar(info, target)
+	if v == nil || v.Name() == "_" || owner.inInit {
+		return
+	}
+	desc := fmt.Sprintf("write to package-level var %s.%s", v.Pkg().Name(), v.Name())
+	owner.addIntrinsic(factWritesGlobal, target.Pos(), desc)
+	b.g.writes[v] = append(b.g.writes[v], writeSite{node: owner, pos: target.Pos()})
+	// Inserting into a package-level map can also allocate.
+	if idx, ok := ast.Unparen(target).(*ast.IndexExpr); ok && isMapIndex(info, idx) && !inPanicArg(target.Pos()) {
+		owner.addIntrinsic(factAllocates, target.Pos(), "map write")
+	}
+}
+
+// baseGlobalVar strips index, selector, star, and paren layers off an
+// assignment target and reports the package-level variable at its base,
+// or nil. Writes through pointers obtained from a global are tracked
+// one level deep (*g = x); aliases that escape through calls are not.
+func baseGlobalVar(info *types.Info, expr ast.Expr) *types.Var {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			// A qualified reference (pkg.Var) resolves through Sel; a
+			// field selection recurses into its operand.
+			if v, ok := info.Uses[e.Sel].(*types.Var); ok && isPackageLevel(v) {
+				return v
+			}
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			if v, ok := info.Uses[e].(*types.Var); ok && isPackageLevel(v) {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// recordMapRangeFact mirrors SL003's detection as an intrinsic fact:
+// a range over a map whose body makes order-sensitive calls.
+func recordMapRangeFact(owner *graphNode, info *types.Info, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isOrderInsensitiveCall(info, call) {
+			owner.addIntrinsic(factMapRange, call.Pos(),
+				fmt.Sprintf("order-dependent call to %s inside range over map", types.ExprString(call.Fun)))
+		}
+		return true
+	})
+}
+
+// capturesLocal reports whether lit closes over a variable declared
+// outside it (the condition that forces a heap closure). Mirrors
+// SL007's capture scan.
+func capturesLocal(info *types.Info, pkg *types.Package, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pkg() != pkg || v.Parent() == pkg.Scope() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		captures = true
+		return false
+	})
+	return captures
+}
+
+// resolveInterfaces devirtualizes pending interface method calls by
+// class-hierarchy analysis over every named type in the module.
+func (b *graphBuilder) resolveInterfaces() {
+	if len(b.ifaces) == 0 {
+		return
+	}
+	concrete := b.moduleNamedTypes()
+	for _, pc := range b.ifaces {
+		for _, named := range concrete {
+			ptr := types.NewPointer(named)
+			if !types.Implements(ptr, pc.iface) && !types.Implements(named, pc.iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), pc.method)
+			m, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			if callee := b.g.byFunc[m]; callee != nil {
+				pc.from.out = append(pc.from.out, graphEdge{to: callee, pos: pc.pos, panicArg: pc.panicArg})
+			}
+		}
+	}
+}
+
+// moduleNamedTypes lists every non-interface named type declared in the
+// loaded packages, in deterministic order.
+func (b *graphBuilder) moduleNamedTypes() []*types.Named {
+	var out []*types.Named
+	for _, lp := range b.pkgs {
+		scope := lp.pkg.Scope()
+		names := scope.Names() // already sorted
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			out = append(out, named)
+		}
+	}
+	return out
+}
+
+// resolveIndirects links calls through function-typed values to every
+// address-taken module function with an identical signature.
+func (b *graphBuilder) resolveIndirects() {
+	if len(b.indirects) == 0 {
+		return
+	}
+	var candidates []*graphNode
+	for _, n := range b.g.nodes {
+		if n.addrTaken && n.sig != nil {
+			candidates = append(candidates, n)
+		}
+	}
+	for _, pc := range b.indirects {
+		for _, cand := range candidates {
+			if !types.Identical(valueSignature(cand.sig), pc.sig) {
+				continue
+			}
+			pc.from.out = append(pc.from.out, graphEdge{to: cand, pos: pc.pos, panicArg: pc.panicArg})
+		}
+	}
+}
+
+// valueSignature strips the receiver: a method used as a value (bound
+// method value) has the receiver folded away from its type.
+func valueSignature(sig *types.Signature) *types.Signature {
+	if sig.Recv() == nil {
+		return sig
+	}
+	return types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+}
+
+func (n *graphNode) addIntrinsic(fact factSet, pos token.Pos, desc string) {
+	n.intrinsic = append(n.intrinsic, factSource{fact: fact, pos: pos, desc: desc})
+}
+
+func (n *graphNode) intrinsicSet() factSet {
+	var s factSet
+	for _, src := range n.intrinsic {
+		s |= src.fact
+	}
+	return s
+}
+
+// sortedWrittenVars returns the write index's keys ordered by their
+// declaration position, for deterministic reporting.
+func (g *callGraph) sortedWrittenVars() []*types.Var {
+	vars := make([]*types.Var, 0, len(g.writes))
+	for v := range g.writes {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		a, b := vars[i], vars[j]
+		if a.Pos() != b.Pos() {
+			return a.Pos() < b.Pos()
+		}
+		return a.Name() < b.Name() // stdlib vars share NoPos
+	})
+	return vars
+}
+
+// matchName reports whether a node's display name matches a user
+// pattern: exact, or a suffix at a qualifier boundary ("Run",
+// "core.Run", "(*Machine).Access" all match "core.(*...)..." forms).
+func (n *graphNode) matchName(pattern string) bool {
+	return n.name == pattern ||
+		strings.HasSuffix(n.name, "."+pattern) ||
+		strings.HasSuffix(n.name, pattern)
+}

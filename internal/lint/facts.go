@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file is the fixpoint layer over the call graph (callgraph.go):
+// per-function facts, their propagation to a module-wide fixed point,
+// simulation entrypoints, and the chain explainer behind SL010's
+// diagnostics and `simlint -why`.
+//
+// The fact lattice is a five-bit powerset ordered by inclusion; each
+// function's summary is its intrinsic facts joined with the summaries
+// of everything it may call, so propagation is monotone and the
+// iteration terminates. The single refinement: the allocates fact does
+// not cross panic-argument edges — code building a panic value never
+// returns, so its allocations cannot break the fast path's steady-state
+// zero-alloc contract.
+
+// factSet is a set of function facts.
+type factSet uint8
+
+const (
+	// factWallclock: may read the wall clock (time.Now/Since/Until).
+	factWallclock factSet = 1 << iota
+	// factGlobalRand: may consult global math/rand state.
+	factGlobalRand
+	// factMapRange: may do order-dependent work inside a range over a
+	// map (randomized iteration order).
+	factMapRange
+	// factWritesGlobal: may write package-level state after init.
+	factWritesGlobal
+	// factAllocates: may heap-allocate on a non-panicking path.
+	factAllocates
+)
+
+// factName renders one fact bit for messages and -why output.
+func factName(f factSet) string {
+	switch f {
+	case factWallclock:
+		return "wall-clock read"
+	case factGlobalRand:
+		return "global rand"
+	case factMapRange:
+		return "map-iteration-order dependence"
+	case factWritesGlobal:
+		return "package-level state write"
+	case factAllocates:
+		return "allocation"
+	}
+	return fmt.Sprintf("fact(%d)", f)
+}
+
+// factSource ties an intrinsic fact to the source construct that
+// produces it.
+type factSource struct {
+	fact factSet
+	pos  token.Pos
+	desc string
+}
+
+// simEntrypoint is one function the simulation path starts at.
+type simEntrypoint struct {
+	node *graphNode
+}
+
+// factsEngine owns one built-and-solved call graph.
+type factsEngine struct {
+	graph       *callGraph
+	entrypoints []simEntrypoint
+	// simPathPkgs holds the import paths of packages containing at
+	// least one function reachable from a simulation entrypoint — the
+	// packages SL011's isolation requirement covers.
+	simPathPkgs map[string]bool
+}
+
+// factsEngine returns the engine for the runner's currently loaded
+// package set, rebuilding it only when new packages have been loaded
+// since the last build.
+func (r *Runner) factsEngine() *factsEngine {
+	if r.fe != nil && r.feGen == r.gen {
+		return r.fe
+	}
+	var pkgs []loadedPkg
+	paths := make([]string, 0, len(r.pkgs))
+	for path := range r.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		c := r.pkgs[path]
+		if c == nil || c.err != nil || c.pkg == nil {
+			continue
+		}
+		pkgs = append(pkgs, loadedPkg{path: path, pkg: c.pkg, files: c.files, info: c.info})
+	}
+	fe := &factsEngine{graph: buildCallGraph(r.fset, pkgs)}
+	fe.solve()
+	fe.findEntrypoints()
+	r.fe, r.feGen = fe, r.gen
+	return fe
+}
+
+// solve iterates summaries to the least fixed point.
+func (fe *factsEngine) solve() {
+	nodes := fe.graph.nodes
+	for _, n := range nodes {
+		n.summary = n.intrinsicSet()
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			s := n.summary
+			for _, e := range n.out {
+				cs := e.to.summary
+				if e.panicArg {
+					cs &^= factAllocates
+				}
+				s |= cs
+			}
+			if s != n.summary {
+				n.summary = s
+				changed = true
+			}
+		}
+	}
+}
+
+// isSimEntrypointFunc reports whether a declared function is one of the
+// simulation entrypoints the paper's reproducibility argument rests on:
+// core.Run, the machine's Access* family, and the kernel's tick/fault
+// handlers.
+func isSimEntrypointFunc(pkgPath, name string) bool {
+	switch pkgPath {
+	case ModulePath + "/internal/core":
+		return name == "Run"
+	case ModulePath + "/internal/machine":
+		return strings.HasPrefix(name, "Access")
+	case ModulePath + "/internal/oskernel":
+		return name == "Tick" || name == "HandleFault" || name == "NextTickAt"
+	}
+	return false
+}
+
+// findEntrypoints collects entrypoint nodes and the packages reachable
+// from them.
+func (fe *factsEngine) findEntrypoints() {
+	fe.simPathPkgs = make(map[string]bool)
+	var roots []*graphNode
+	for _, n := range fe.graph.nodes {
+		if n.fn == nil || n.fn.Pkg() == nil {
+			continue
+		}
+		if isSimEntrypointFunc(n.fn.Pkg().Path(), n.fn.Name()) {
+			fe.entrypoints = append(fe.entrypoints, simEntrypoint{node: n})
+			roots = append(roots, n)
+		}
+	}
+	seen := make(map[*graphNode]bool)
+	queue := roots
+	for _, n := range queue {
+		seen[n] = true
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		fe.simPathPkgs[n.pkg.Path()] = true
+		for _, e := range n.out {
+			if !seen[e.to] {
+				seen[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+}
+
+// chainFinding is one explained fact: the shortest call path from a
+// root to a function whose body produces the fact intrinsically.
+type chainFinding struct {
+	fact   factSet
+	path   []*graphNode // root first, producing function last
+	source factSource
+}
+
+// chainString renders "a → b → c calls/does <desc>".
+func (c chainFinding) chainString() string {
+	names := make([]string, len(c.path))
+	for i, n := range c.path {
+		names[i] = n.name
+	}
+	return strings.Join(names, " → ") + ": " + c.source.desc
+}
+
+// findChains BFSes from root and returns one shortest chain per
+// intrinsic fact source of the requested kinds, in deterministic
+// (breadth-first, then source-order) order. For factAllocates,
+// panic-argument edges are not traversed.
+func (fe *factsEngine) findChains(root *graphNode, facts factSet) []chainFinding {
+	type item struct {
+		n    *graphNode
+		path []*graphNode
+	}
+	var out []chainFinding
+	seen := map[*graphNode]bool{root: true}
+	queue := []item{{n: root, path: []*graphNode{root}}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, src := range it.n.intrinsic {
+			if src.fact&facts != 0 {
+				out = append(out, chainFinding{fact: src.fact, path: it.path, source: src})
+			}
+		}
+		for _, e := range it.n.out {
+			remaining := facts
+			if e.panicArg {
+				remaining &^= factAllocates
+			}
+			if seen[e.to] || e.to.summary&remaining == 0 {
+				continue
+			}
+			seen[e.to] = true
+			path := make([]*graphNode, len(it.path), len(it.path)+1)
+			copy(path, it.path)
+			queue = append(queue, item{n: e.to, path: append(path, e.to)})
+		}
+	}
+	return out
+}
+
+// allocationChain returns the shortest allocation chain from node, or
+// false when node cannot allocate outside panic paths.
+func (fe *factsEngine) allocationChain(n *graphNode) (chainFinding, bool) {
+	if n.summary&factAllocates == 0 {
+		return chainFinding{}, false
+	}
+	chains := fe.findChains(n, factAllocates)
+	if len(chains) == 0 {
+		return chainFinding{}, false
+	}
+	return chains[0], true
+}
+
+// ruleFacts maps the interprocedural rule IDs onto the facts they
+// consult, for `simlint -why`.
+func ruleFacts(ruleID string) (factSet, bool) {
+	switch ruleID {
+	case "SL010":
+		return factWallclock | factGlobalRand | factMapRange, true
+	case "SL011":
+		return factWritesGlobal, true
+	case "SL012":
+		return factAllocates, true
+	}
+	return 0, false
+}
+
+// Explain renders why ruleID's facts hold (or do not) for every loaded
+// function matching pattern — the engine behind `simlint -why
+// SLxxx:func`. Patterns match display names exactly or by suffix:
+// "Run", "core.Run", and "(*Machine).Access" all work.
+func (r *Runner) Explain(ruleID, pattern string) ([]string, error) {
+	facts, ok := ruleFacts(ruleID)
+	if !ok {
+		return nil, fmt.Errorf("lint: -why supports the interprocedural rules SL010, SL011, SL012; %q is not one", ruleID)
+	}
+	fe := r.factsEngine()
+	var matched []*graphNode
+	for _, n := range fe.graph.nodes {
+		if n.matchName(pattern) {
+			matched = append(matched, n)
+		}
+	}
+	if len(matched) == 0 {
+		return nil, fmt.Errorf("lint: no loaded function matches %q", pattern)
+	}
+	var lines []string
+	for _, n := range matched {
+		lines = append(lines, fmt.Sprintf("%s (%s)", n.name, r.fset.Position(n.pos)))
+		chains := fe.findChains(n, facts)
+		if len(chains) == 0 {
+			lines = append(lines, fmt.Sprintf("  clean: no %s fact is reachable", ruleID))
+			continue
+		}
+		for _, c := range chains {
+			lines = append(lines, fmt.Sprintf("  %s: %s (%s)",
+				factName(c.fact), c.chainString(), r.fset.Position(c.source.pos)))
+		}
+	}
+	return lines, nil
+}

@@ -28,6 +28,7 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -76,8 +77,9 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
-	rule  Rule
-	diags *[]Diagnostic
+	rule   Rule
+	diags  *[]Diagnostic
+	runner *Runner
 }
 
 // Reportf records a finding at pos under the pass's rule ID.
@@ -99,6 +101,23 @@ type Runner struct {
 	fset *token.FileSet
 	std  types.Importer
 	pkgs map[string]*checked
+
+	// gen counts successful package loads; the facts engine (facts.go)
+	// caches its call graph against it and rebuilds only when new
+	// packages have been type-checked since the last build.
+	gen   int
+	fe    *factsEngine
+	feGen int
+
+	// waivers and badWaivers index //simlint:ignore directives by
+	// filename (waiver.go), populated at parse time so interprocedural
+	// diagnostics pointing into dependency packages honor them too.
+	waivers    map[string][]waiver
+	badWaivers map[string][]badWaiver
+
+	// reported dedupes interprocedural findings: SL010/SL012 may derive
+	// the same finding from several entrypoints or passes.
+	reported map[string]bool
 }
 
 type checked struct {
@@ -118,8 +137,11 @@ func NewRunner(moduleRoot string) *Runner {
 		fset:       fset,
 		// The "source" importer type-checks stdlib dependencies from
 		// $GOROOT source — no export data or network required.
-		std:  importer.ForCompiler(fset, "source", nil),
-		pkgs: make(map[string]*checked),
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*checked),
+		waivers:    make(map[string][]waiver),
+		badWaivers: make(map[string][]badWaiver),
+		reported:   make(map[string]bool),
 	}
 }
 
@@ -154,23 +176,34 @@ func (r *Runner) load(importPath, dir string) *checked {
 	r.pkgs[importPath] = nil // cycle sentinel
 	c := r.loadUncached(importPath, dir)
 	r.pkgs[importPath] = c
+	r.gen++ // invalidate the cached facts engine
 	return c
 }
 
 func (r *Runner) loadUncached(importPath, dir string) *checked {
 	bp, err := build.Default.ImportDir(dir, 0)
 	if err != nil {
-		return &checked{err: fmt.Errorf("lint: %s: %v", importPath, err)}
+		return &checked{err: fmt.Errorf("lint: %s: %w", importPath, err)}
 	}
 	var files []*ast.File
 	for _, name := range bp.GoFiles {
+		// The source is read here (not left to the parser) because the
+		// waiver index needs the raw lines to tell trailing directives
+		// from standalone ones.
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return &checked{err: fmt.Errorf("lint: %w", err)}
+		}
 		// ParseComments is needed for the file-level lint directives
-		// (//simlint:fastpath, consumed by SL007).
-		f, err := parser.ParseFile(r.fset, filepath.Join(dir, name), nil,
+		// (//simlint:fastpath consumed by SL007, //simlint:ignore
+		// waivers).
+		f, err := parser.ParseFile(r.fset, path, src,
 			parser.SkipObjectResolution|parser.ParseComments)
 		if err != nil {
-			return &checked{err: fmt.Errorf("lint: %v", err)}
+			return &checked{err: fmt.Errorf("lint: %w", err)}
 		}
+		r.indexWaivers(f, src)
 		files = append(files, f)
 	}
 	info := &types.Info{
@@ -193,7 +226,7 @@ func (r *Runner) loadUncached(importPath, dir string) *checked {
 		err = firstErr
 	}
 	if err != nil {
-		return &checked{err: fmt.Errorf("lint: typecheck %s: %v", importPath, err)}
+		return &checked{err: fmt.Errorf("lint: typecheck %s: %w", importPath, err)}
 	}
 	return &checked{pkg: pkg, files: files, info: info}
 }
@@ -214,12 +247,47 @@ func (r *Runner) LintDir(importPath, dir string) ([]Diagnostic, error) {
 		p := &Pass{
 			Fset: r.fset, Path: importPath,
 			Files: c.files, Pkg: c.pkg, Info: c.info,
-			rule: rule, diags: &diags,
+			rule: rule, diags: &diags, runner: r,
 		}
 		rule.Check(p)
 	}
+	diags = r.applyWaivers(diags)
 	sortDiagnostics(diags)
 	return diags, nil
+}
+
+// reportOnce dedupes interprocedural findings that several passes (or
+// several entrypoints) would otherwise derive independently.
+func (r *Runner) reportOnce(key string) bool {
+	if r.reported[key] {
+		return false
+	}
+	r.reported[key] = true
+	return true
+}
+
+// LoadTree parses and type-checks every package under root without
+// linting, priming the runner's caches — the `-why` explainer uses it
+// to build the facts engine over the whole module.
+func (r *Runner) LoadTree(root string) error {
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return err
+	}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(r.ModuleRoot, dir)
+		if err != nil {
+			return err
+		}
+		importPath := ModulePath
+		if rel != "." {
+			importPath = ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		if c := r.load(importPath, dir); c.err != nil && !isNoGoErr(c.err) {
+			return c.err
+		}
+	}
+	return nil
 }
 
 // LintTree lints every package under root (a directory inside the
@@ -243,7 +311,7 @@ func (r *Runner) LintTree(root string) ([]Diagnostic, error) {
 		}
 		ds, err := r.LintDir(importPath, dir)
 		if err != nil {
-			if _, ok := errNoGo(err); ok {
+			if isNoGoErr(err) {
 				continue // directory without buildable Go files
 			}
 			return diags, err
@@ -254,23 +322,12 @@ func (r *Runner) LintTree(root string) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-func errNoGo(err error) (*build.NoGoError, bool) {
-	for e := err; e != nil; {
-		if ng, ok := e.(*build.NoGoError); ok {
-			return ng, true
-		}
-		u, ok := e.(interface{ Unwrap() error })
-		if !ok {
-			break
-		}
-		e = u.Unwrap()
-	}
-	// fmt.Errorf with %v does not wrap; fall back to the message.
-	if strings.Contains(err.Error(), "no buildable Go source files") ||
-		strings.Contains(err.Error(), "no Go files in") {
-		return nil, true
-	}
-	return nil, false
+// isNoGoErr reports whether err is (or wraps) build.NoGoError — a
+// directory with no buildable Go files, which tree walks skip. Load
+// errors are wrapped with %w, so errors.As sees through the chain.
+func isNoGoErr(err error) bool {
+	var ng *build.NoGoError
+	return errors.As(err, &ng)
 }
 
 // packageDirs walks root collecting directories that contain at least

@@ -23,27 +23,47 @@ type want struct {
 }
 
 // TestRuleFixtures lints each seeded-violation fixture as if it lived
-// in internal/ and asserts the exact (rule, line) diagnostics.
+// in internal/ and asserts the exact (rule, line) diagnostics. A case
+// may override the import path: the interprocedural fixtures
+// impersonate the real entrypoint packages so the facts engine treats
+// their Run/Tick as simulation entrypoints.
 func TestRuleFixtures(t *testing.T) {
 	cases := []struct {
 		dir  string
+		path string // import path override; default internal/<dir>
 		want []want
 	}{
-		{"sl001", []want{{"SL001", 8}, {"SL001", 9}}},
-		{"sl002", []want{{"SL002", 8}, {"SL002", 9}}},
-		{"sl003", []want{{"SL003", 18}, {"SL003", 25}}},
-		{"sl004", []want{{"SL004", 14}, {"SL004", 15}, {"SL004", 16}, {"SL004", 21}}},
-		{"sl005", []want{{"SL005", 13}, {"SL005", 20}}},
-		{"sl006", []want{{"SL006", 17}, {"SL006", 18}}},
-		{"sl007", []want{{"SL007", 17}, {"SL007", 18}, {"SL007", 19}, {"SL007", 21}}},
-		{"sl008", []want{{"SL008", 15}, {"SL008", 18}}},
-		{"sl009", []want{{"SL009", 15}, {"SL009", 18}, {"SL009", 21}}},
-		{"clean", nil},
+		{dir: "sl001", want: []want{{"SL001", 8}, {"SL001", 9}}},
+		{dir: "sl002", want: []want{{"SL002", 8}, {"SL002", 9}}},
+		{dir: "sl003", want: []want{{"SL003", 18}, {"SL003", 25}}},
+		{dir: "sl004", want: []want{{"SL004", 14}, {"SL004", 15}, {"SL004", 16}, {"SL004", 21}}},
+		{dir: "sl005", want: []want{{"SL005", 13}, {"SL005", 20}}},
+		{dir: "sl006", want: []want{{"SL006", 17}, {"SL006", 18}}},
+		{dir: "sl007", want: []want{{"SL007", 17}, {"SL007", 18}, {"SL007", 19}, {"SL007", 21}}},
+		{dir: "sl008", want: []want{{"SL008", 15}, {"SL008", 18}}},
+		{dir: "sl009", want: []want{{"SL009", 15}, {"SL009", 18}, {"SL009", 21}}},
+		{dir: "sl010", path: ModulePath + "/internal/core", want: []want{
+			{"SL001", 32}, {"SL010", 32},
+			{"SL002", 37}, {"SL010", 37},
+			{"SL003", 44}, {"SL010", 44},
+		}},
+		{dir: "sl011", path: ModulePath + "/internal/oskernel", want: []want{
+			{"SL011", 12}, {"SL011", 34},
+		}},
+		{dir: "sl012", want: []want{{"SL012", 11}, {"SL012", 12}}},
+		{dir: "waiver", want: []want{
+			{"SL001", 24}, {"SL000", 24},
+			{"SL001", 29}, {"SL000", 29},
+		}},
+		{dir: "clean"},
 	}
 	r := NewRunner(moduleRoot(t))
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
-			importPath := ModulePath + "/internal/" + tc.dir
+			importPath := tc.path
+			if importPath == "" {
+				importPath = ModulePath + "/internal/" + tc.dir
+			}
 			dir := filepath.Join("testdata", tc.dir)
 			diags, err := r.LintDir(importPath, dir)
 			if err != nil {
@@ -118,11 +138,86 @@ func TestRuleTableIsWellFormed(t *testing.T) {
 	}
 }
 
-// TestRepoIsClean runs every rule over the whole module — the same
-// sweep as `go run ./cmd/simlint ./...` in CI — and requires zero
+// TestInterprocChainMessages pins the exact diagnostic text of the
+// interprocedural rules: SL010 must print the full call chain from the
+// entrypoint to the offending construct, SL012 the allocation chain
+// from the call site out of the fastpath file.
+func TestInterprocChainMessages(t *testing.T) {
+	r := NewRunner(moduleRoot(t))
+
+	diags, err := r.LintDir(ModulePath+"/internal/core", filepath.Join("testdata", "sl010"))
+	if err != nil {
+		t.Fatalf("LintDir: %v", err)
+	}
+	wantMsg := "wall-clock read reachable from simulation entrypoint sl010.Run: " +
+		"sl010.Run → sl010.advance → sl010.stamp: time.Now"
+	assertMsg(t, diags, "SL010", 32, wantMsg)
+
+	diags, err = r.LintDir(ModulePath+"/internal/sl012", filepath.Join("testdata", "sl012"))
+	if err != nil {
+		t.Fatalf("LintDir: %v", err)
+	}
+	wantMsg = "call to sl012.(*engine).grow from a fast-path file can allocate " +
+		"(sl012.(*engine).grow → sl012.(*engine).reserve: make): " +
+		"the zero-alloc contract extends to everything the fast path calls"
+	assertMsg(t, diags, "SL012", 12, wantMsg)
+}
+
+func assertMsg(t *testing.T, diags []Diagnostic, rule string, line int, want string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Rule == rule && d.Pos.Line == line {
+			if d.Msg != want {
+				t.Errorf("%s at line %d:\n got %q\nwant %q", rule, line, d.Msg, want)
+			}
+			return
+		}
+	}
+	t.Errorf("no %s diagnostic at line %d:\n%s", rule, line, render(diags))
+}
+
+// TestExplain exercises the -why chain explainer over the sl010
+// fixture: the entrypoint explains its reachable facts, a clean helper
+// reports none.
+func TestExplain(t *testing.T) {
+	r := NewRunner(moduleRoot(t))
+	if _, err := r.LintDir(ModulePath+"/internal/core", filepath.Join("testdata", "sl010")); err != nil {
+		t.Fatalf("LintDir: %v", err)
+	}
+	lines, err := r.Explain("SL010", "sl010.Run")
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, frag := range []string{
+		"sl010.Run → sl010.advance → sl010.stamp: time.Now",
+		"sl010.Run → sl010.jitter: rand.Intn",
+		"sl010.Run → sl010.tally: order-dependent call to cost inside range over map",
+	} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("Explain output missing %q:\n%s", frag, joined)
+		}
+	}
+	lines, err = r.Explain("SL010", "sl010.cost")
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if len(lines) != 2 || !strings.Contains(lines[1], "clean") {
+		t.Errorf("Explain on a clean function = %q, want a clean line", lines)
+	}
+	if _, err := r.Explain("SL007", "sl010.Run"); err == nil {
+		t.Error("Explain accepted a non-interprocedural rule")
+	}
+	if _, err := r.Explain("SL010", "noSuchFunc"); err == nil {
+		t.Error("Explain matched a nonexistent function")
+	}
+}
+
+// TestModuleIsLintClean runs every rule over the whole module — the
+// same sweep as `go run ./cmd/simlint ./...` in CI — and requires zero
 // findings. Any rule violation introduced into the simulator fails
 // here first, with the exact file:line in the failure message.
-func TestRepoIsClean(t *testing.T) {
+func TestModuleIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the entire module; skipped in -short")
 	}

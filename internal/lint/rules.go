@@ -13,6 +13,15 @@ import (
 func AllRules() []Rule {
 	return []Rule{
 		{
+			ID:   "SL000",
+			Name: "waiver",
+			Doc: "//simlint:ignore directives must name a rule and carry a reason: " +
+				"a waiver without a justification is a suppressed finding nobody " +
+				"can review; malformed directives are findings themselves and " +
+				"suppress nothing",
+			Check: checkWaiverDirectives,
+		},
+		{
 			ID:   "SL001",
 			Name: "wallclock",
 			Doc: "no time.Now/Since/Until in simulation packages: simulated time " +
@@ -102,7 +111,54 @@ func AllRules() []Rule {
 			Applies: internalOnly,
 			Check:   checkGatherStream,
 		},
+		{
+			ID:   "SL010",
+			Name: "simpath",
+			Doc: "no nondeterminism reachable from a simulation entrypoint: no " +
+				"function transitively callable from core.Run, machine.Access*, " +
+				"or the oskernel tick/fault handlers may read the wall clock, " +
+				"consult global rand, or depend on map iteration order — the " +
+				"interprocedural closure of SL001–SL003, with the full call " +
+				"chain printed in each diagnostic",
+			Applies: simEntrypointPackage,
+			Check:   checkSimPath,
+		},
+		{
+			ID:   "SL011",
+			Name: "isolation",
+			Doc: "no shared mutable package state on the simulation path: packages " +
+				"reachable from the simulation entrypoints may not declare " +
+				"package-level variables that are written after init, nor write " +
+				"other packages' globals — the precondition for running pooled " +
+				"Machine instances concurrently (sharded engine, service mode)",
+			Applies: internalOnly,
+			Check:   checkIsolation,
+		},
+		{
+			ID:   "SL012",
+			Name: "fastpath-reach",
+			Doc: "functions called from files tagged //simlint:fastpath must be " +
+				"allocation-free per the facts engine: SL007 polices the tagged " +
+				"file's own body, this rule follows every call out of it " +
+				"(transitively, panic paths exempt) so the zero-alloc contract " +
+				"cannot leak through a helper",
+			Applies: internalOnly,
+			Check:   checkFastPathReach,
+		},
 	}
+}
+
+// simEntrypointPackage restricts SL010 to the packages that define
+// simulation entrypoints; its diagnostics still point anywhere the
+// chains lead.
+func simEntrypointPackage(path string) bool {
+	switch path {
+	case ModulePath + "/internal/core",
+		ModulePath + "/internal/machine",
+		ModulePath + "/internal/oskernel":
+		return true
+	}
+	return false
 }
 
 // RuleByID returns the rule with the given ID, or false.

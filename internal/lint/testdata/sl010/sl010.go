@@ -1,0 +1,51 @@
+// Package sl010 seeds SL010 violations. The fixture is linted under
+// the import path graphmem/internal/core, so Run is a simulation
+// entrypoint and the facts engine must trace nondeterminism SL001–SL003
+// can only see file-locally back to it through the call chain.
+package sl010
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Run impersonates core.Run, the simulation entrypoint.
+func Run(n int, m map[string]uint64) uint64 {
+	total := advance(n)
+	total += jitter()
+	total += tally(m)
+	return total
+}
+
+// advance is the middle hop of the wall-clock chain.
+func advance(n int) uint64 {
+	var t uint64
+	for i := 0; i < n; i++ {
+		t += stamp()
+	}
+	return t
+}
+
+// stamp is the leaf: SL001 flags the call file-locally, SL010 flags it
+// as reachable from Run with the chain Run → advance → stamp.
+func stamp() uint64 {
+	return uint64(time.Now().UnixNano())
+}
+
+// jitter consults global rand state one hop from the entrypoint.
+func jitter() uint64 {
+	return uint64(rand.Intn(8))
+}
+
+// tally does order-dependent work inside a range over a map.
+func tally(m map[string]uint64) uint64 {
+	var t uint64
+	for k := range m {
+		t += cost(k)
+	}
+	return t
+}
+
+func cost(k string) uint64 {
+	return uint64(len(k))
+}

@@ -1,0 +1,36 @@
+// Package sl011 seeds SL011 violations. The fixture is linted under
+// the import path graphmem/internal/oskernel, so Tick is a simulation
+// entrypoint and the package is on the simulation path: it may not
+// declare package-level state written after init, nor write another
+// package's globals.
+package sl011
+
+import "os"
+
+// promotions is written by Tick after init: flagged at this
+// declaration, naming the writer.
+var promotions int
+
+// thresholds is only assigned during package initialization — an
+// immutable lookup table, exempt.
+var thresholds [4]uint64
+
+func init() {
+	for i := range thresholds {
+		thresholds[i] = uint64(16 << i)
+	}
+}
+
+// Tick impersonates oskernel.Tick, a simulation entrypoint.
+func Tick(now uint64) {
+	if now&1 == 0 {
+		promotions++
+	}
+	record(now)
+}
+
+// record writes a foreign package's global: flagged at the write site.
+func record(now uint64) {
+	os.Args = os.Args[:1]
+	_ = now
+}

@@ -1,0 +1,16 @@
+//simlint:fastpath
+
+// Package sl012 seeds SL012 violations: calls out of a fastpath-tagged
+// file that reach allocations SL007 cannot see file-locally.
+package sl012
+
+// step is the per-access fast path. Its own body is allocation-free
+// (SL007 stays quiet); two of its callees are not.
+func (e *engine) step(va uint64) {
+	e.count(va)
+	e.record(va)
+	e.grow()
+	if va == 0 {
+		e.fail(va)
+	}
+}

@@ -1,0 +1,36 @@
+// Slow-path helpers for the sl012 fixture: only the fastpath file is
+// tagged, so SL007 ignores these bodies — SL012 must follow the calls.
+package sl012
+
+import "graphmem/internal/check"
+
+type engine struct {
+	n   int
+	vas []uint64
+}
+
+// count is transitively allocation-free: calls to it are clean.
+func (e *engine) count(va uint64) {
+	e.n++
+	_ = va
+}
+
+// record appends: one hop from the fast path.
+func (e *engine) record(va uint64) {
+	e.vas = append(e.vas, va)
+}
+
+// grow reaches make two hops down.
+func (e *engine) grow() {
+	e.reserve(e.n)
+}
+
+func (e *engine) reserve(n int) {
+	e.vas = make([]uint64, 0, n)
+}
+
+// fail allocates only while building a panic value — the panicking
+// path never returns, so calls to it are clean under SL012.
+func (e *engine) fail(va uint64) {
+	panic(check.Failf("sl012: unmapped va %#x", va))
+}

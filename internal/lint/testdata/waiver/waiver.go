@@ -1,0 +1,30 @@
+// Package waiver exercises //simlint:ignore: a reasoned directive
+// suppresses matching diagnostics on its line (trailing form) or the
+// next line (standalone form); a directive without a rule or reason is
+// itself a finding (SL000) and suppresses nothing.
+package waiver
+
+import "time"
+
+// stampWaived carries a trailing waiver covering its own line.
+func stampWaived() int64 {
+	return time.Now().UnixNano() //simlint:ignore SL001 fixture exercises the trailing waiver form
+}
+
+// stampWaivedAbove is covered by a standalone directive on the line
+// above the finding.
+func stampWaivedAbove() int64 {
+	//simlint:ignore SL001 fixture exercises the standalone waiver form
+	return time.Now().UnixNano()
+}
+
+// stampBad carries a reason-less directive: SL000 fires on the
+// directive and the SL001 finding is NOT suppressed.
+func stampBad() int64 {
+	return time.Now().UnixNano() //simlint:ignore SL001
+}
+
+// stampUnknown names no known rule: SL000, and SL001 still fires.
+func stampUnknown() int64 {
+	return time.Now().UnixNano() //simlint:ignore determinism is overrated
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Inline waivers. A line-scoped directive
+//
+//	//simlint:ignore SL0xx reason the rule does not apply here
+//
+// suppresses matching diagnostics: a trailing directive covers its own
+// line, a directive alone on its line covers the next line. The reason
+// is mandatory — a reason-less or otherwise malformed directive is
+// itself a finding (rule SL000) and suppresses nothing.
+
+const ignoreDirective = "//simlint:ignore"
+
+// waiver is one well-formed parsed directive.
+type waiver struct {
+	rule   string // the waived rule, e.g. "SL012"
+	reason string
+	line   int // the source line the waiver covers
+	used   bool
+}
+
+// badWaiver is a malformed directive, reported by SL000.
+type badWaiver struct {
+	pos token.Pos
+	msg string
+}
+
+// indexWaivers scans a parsed file's comments for ignore directives and
+// records them (valid and malformed) in the runner's indexes. src is
+// the file's source, used to distinguish trailing directives from
+// standalone ones.
+func (r *Runner) indexWaivers(f *ast.File, src []byte) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if text != ignoreDirective && !strings.HasPrefix(text, ignoreDirective+" ") {
+				continue
+			}
+			pos := r.fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+			id, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			if _, known := RuleByID(id); !known {
+				r.badWaivers[pos.Filename] = append(r.badWaivers[pos.Filename], badWaiver{
+					pos: c.Pos(),
+					msg: "ignore directive must name a rule: //simlint:ignore SL0xx reason",
+				})
+				continue
+			}
+			if reason == "" {
+				r.badWaivers[pos.Filename] = append(r.badWaivers[pos.Filename], badWaiver{
+					pos: c.Pos(),
+					msg: "ignore directive for " + id + " is missing its mandatory reason",
+				})
+				continue
+			}
+			line := pos.Line
+			if standaloneComment(src, pos.Offset) {
+				line++ // a directive alone on its line covers the next
+			}
+			r.waivers[pos.Filename] = append(r.waivers[pos.Filename], waiver{
+				rule: id, reason: reason, line: line,
+			})
+		}
+	}
+}
+
+// standaloneComment reports whether only whitespace precedes the
+// comment starting at offset on its line.
+func standaloneComment(src []byte, offset int) bool {
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case ' ', '\t':
+			continue
+		case '\n', '\r':
+			return true
+		default:
+			return false
+		}
+	}
+	return true // first line of the file
+}
+
+// applyWaivers filters diagnostics through the waiver index. Waivers
+// are looked up by the diagnostic's own file, so interprocedural
+// findings (SL010 chains, SL012 callees) are waived where they point.
+func (r *Runner) applyWaivers(diags []Diagnostic) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if r.waived(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func (r *Runner) waived(d Diagnostic) bool {
+	ws := r.waivers[d.Pos.Filename]
+	for i := range ws {
+		if ws[i].rule == d.Rule && ws[i].line == d.Pos.Line {
+			ws[i].used = true
+			return true
+		}
+	}
+	return false
+}
+
+// checkWaiverDirectives is SL000: malformed ignore directives in the
+// pass's files.
+func checkWaiverDirectives(p *Pass) {
+	for _, file := range p.Files {
+		filename := p.Fset.Position(file.Pos()).Filename
+		for _, bw := range p.runner.badWaivers[filename] {
+			p.Reportf(bw.pos, "%s", bw.msg)
+		}
+	}
+}

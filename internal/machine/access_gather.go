@@ -55,7 +55,7 @@ func (m *Machine) AccessGather(vas []uint64) {
 		// disabled, observers registered, or a zero-cost hit model (the
 		// event-split division needs cHit > 0).
 		if m.noGather || len(m.observers) != 0 || m.Model.L1DHit+m.Model.Compute == 0 {
-			m.accessEach(vas[i:])
+			m.accessEach(vas[i:]) //simlint:ignore SL012 per-batch fallback; Access waives its own fault/event escapes
 			return
 		}
 		// Scalar dispatch for any access the gather engine cannot
@@ -65,11 +65,11 @@ func (m *Machine) AccessGather(vas []uint64) {
 		// runs per access), or an L1 TLB array with no capacity for
 		// this page size.
 		if vas[i]-m.trBase >= m.trSpan || m.cycles >= m.nextEvent || !m.TLB.L1Holds(m.tr.Size) {
-			m.Access(vas[i])
+			m.Access(vas[i]) //simlint:ignore SL012 scalar fallback; Access waives its own fault/event escapes
 			i++
 			continue
 		}
-		i = m.gatherSegment(vas, i)
+		i = m.gatherSegment(vas, i) //simlint:ignore SL012 segment body allocates only via waived event dispatch
 	}
 }
 
@@ -83,7 +83,7 @@ func (m *Machine) gatherSegment(vas []uint64, i int) int {
 	// the real TLB lookup — installing (or refreshing) L1 residency the
 	// rest of the segment relies on — the real data-cache probe, and
 	// any due event dispatch.
-	m.Access(vas[i])
+	m.Access(vas[i]) //simlint:ignore SL012 segment head takes the scalar path; escapes waived in Access
 	i++
 	n := len(vas)
 	// Re-establish the batching preconditions: the event dispatch inside
@@ -143,7 +143,7 @@ func (m *Machine) gatherSegment(vas []uint64, i int) int {
 			if cyc >= deadline {
 				m.cycles = cyc
 				m.flushBulk(done, data)
-				m.runEvents()
+				m.runEvents() //simlint:ignore SL012 due-event dispatch; registered tickers own their allocation budget
 				return i
 			}
 		}
@@ -176,7 +176,7 @@ func (m *Machine) gatherSegment(vas []uint64, i int) int {
 		if cyc >= deadline {
 			m.cycles = cyc
 			m.flushBulk(done, data)
-			m.runEvents()
+			m.runEvents() //simlint:ignore SL012 due-event dispatch; registered tickers own their allocation budget
 			return i
 		}
 	}

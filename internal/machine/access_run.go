@@ -43,7 +43,7 @@ func (m *Machine) AccessRun(va uint64, count int, stride uint64) {
 		// zero-cost hit model (the event-split division needs cHit > 0).
 		if m.noBulk || stride == 0 || len(m.observers) != 0 || m.Model.L1DHit+m.Model.Compute == 0 {
 			for ; count > 0; count-- {
-				m.Access(va)
+				m.Access(va) //simlint:ignore SL012 scalar fallback; Access waives its own fault/event escapes
 				va += stride
 			}
 			return
@@ -54,12 +54,12 @@ func (m *Machine) AccessRun(va uint64, count int, stride uint64) {
 		// its deadline in the past so Tick runs per access), or an L1
 		// TLB array with no capacity for this page size.
 		if va-m.trBase >= m.trSpan || m.cycles >= m.nextEvent || !m.TLB.L1Holds(m.tr.Size) {
-			m.Access(va)
+			m.Access(va) //simlint:ignore SL012 scalar fallback; Access waives its own fault/event escapes
 			va += stride
 			count--
 			continue
 		}
-		va, count = m.bulkSegment(va, count, stride)
+		va, count = m.bulkSegment(va, count, stride) //simlint:ignore SL012 segment body allocates only via waived event dispatch
 	}
 }
 
@@ -72,7 +72,7 @@ func (m *Machine) bulkSegment(va uint64, count int, stride uint64) (uint64, int)
 	// the real TLB lookup — installing (or refreshing) L1 residency the
 	// rest of the segment relies on — the real data-cache probe, and
 	// any due event dispatch.
-	m.Access(va)
+	m.Access(va) //simlint:ignore SL012 segment head takes the scalar path; escapes waived in Access
 	va += stride
 	count--
 	// Re-establish the batching preconditions: the event dispatch inside
@@ -120,7 +120,7 @@ func (m *Machine) bulkSegment(va uint64, count int, stride uint64) (uint64, int)
 			count -= int(n)
 			if m.cycles >= m.nextEvent {
 				m.flushBulk(done, data)
-				m.runEvents()
+				m.runEvents() //simlint:ignore SL012 due-event dispatch; registered tickers own their allocation budget
 				return va, count
 			}
 			continue
@@ -146,7 +146,7 @@ func (m *Machine) bulkSegment(va uint64, count int, stride uint64) (uint64, int)
 		count--
 		if m.cycles >= m.nextEvent {
 			m.flushBulk(done, data)
-			m.runEvents()
+			m.runEvents() //simlint:ignore SL012 due-event dispatch; registered tickers own their allocation budget
 			return va, count
 		}
 	}

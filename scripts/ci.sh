@@ -3,7 +3,9 @@
 #
 #   1. gofmt            formatting drift
 #   2. go vet           stdlib static checks
-#   3. simlint          project determinism rules (SL001..SL009)
+#   3. simlint          project determinism rules (SL001..SL012),
+#                       timed: the interprocedural facts engine must
+#                       keep the full-module sweep under 60s
 #   4. go build         both build-tag variants compile
 #   5. go test -race    full suite under the race detector
 #   6. go test -tags simcheck ./internal/...
@@ -46,7 +48,14 @@ echo "== go vet"
 go vet ./...
 
 echo "== simlint"
+lint_start=$(date +%s)
 go run ./cmd/simlint ./...
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "simlint took ${lint_elapsed}s"
+if [ "$lint_elapsed" -gt 60 ]; then
+    echo "simlint exceeded its 60s budget (${lint_elapsed}s): the facts engine is too slow" >&2
+    exit 1
+fi
 
 echo "== build (default and simcheck)"
 go build ./...
