@@ -580,9 +580,8 @@ func (g *callGraph) sortedWrittenVars() []*types.Var {
 
 // matchName reports whether a node's display name matches a user
 // pattern: exact, or a suffix at a qualifier boundary ("Run",
-// "core.Run", "(*Machine).Access" all match "core.(*...)..." forms).
+// "core.Run", "(*Machine).Access" all match "core.(*...)..." forms —
+// but "Run" does not match "core.DryRun").
 func (n *graphNode) matchName(pattern string) bool {
-	return n.name == pattern ||
-		strings.HasSuffix(n.name, "."+pattern) ||
-		strings.HasSuffix(n.name, pattern)
+	return n.name == pattern || strings.HasSuffix(n.name, "."+pattern)
 }

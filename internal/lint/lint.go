@@ -294,12 +294,24 @@ func (r *Runner) LoadTree(root string) error {
 // module), skipping testdata, vendor, and hidden directories. Hard
 // errors (unparsable or untypeable packages) are returned alongside any
 // diagnostics gathered before the failure.
+//
+// The whole tree is loaded before any rule runs: the interprocedural
+// rules (SL010–SL012) consult a module-wide facts engine, and building
+// it over a partially loaded module would make their findings depend on
+// directory sort order — a package linted early would miss call-graph
+// edges and global writes contributed by packages outside its import
+// cone. After the sweep, waivers that suppressed nothing are reported
+// as SL000 findings so stale directives cannot linger.
 func (r *Runner) LintTree(root string) ([]Diagnostic, error) {
+	if err := r.LoadTree(root); err != nil {
+		return nil, err
+	}
 	dirs, err := packageDirs(root)
 	if err != nil {
 		return nil, err
 	}
 	var diags []Diagnostic
+	linted := make(map[string]bool)
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(r.ModuleRoot, dir)
 		if err != nil {
@@ -317,7 +329,13 @@ func (r *Runner) LintTree(root string) ([]Diagnostic, error) {
 			return diags, err
 		}
 		diags = append(diags, ds...)
+		if c := r.pkgs[importPath]; c != nil && c.err == nil {
+			for _, f := range c.files {
+				linted[r.fset.Position(f.Pos()).Filename] = true
+			}
+		}
 	}
+	diags = append(diags, r.unusedWaiverDiags(linted)...)
 	sortDiagnostics(diags)
 	return diags, nil
 }

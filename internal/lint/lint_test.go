@@ -42,10 +42,13 @@ func TestRuleFixtures(t *testing.T) {
 		{dir: "sl007", want: []want{{"SL007", 17}, {"SL007", 18}, {"SL007", 19}, {"SL007", 21}}},
 		{dir: "sl008", want: []want{{"SL008", 15}, {"SL008", 18}}},
 		{dir: "sl009", want: []want{{"SL009", 15}, {"SL009", 18}, {"SL009", 21}}},
+		// The fixture's stampWaived leaf (line 58) is reachable from Run
+		// too, but its SL001 waiver also covers SL010's echo at that
+		// line, so no diagnostic is expected there.
 		{dir: "sl010", path: ModulePath + "/internal/core", want: []want{
-			{"SL001", 32}, {"SL010", 32},
-			{"SL002", 37}, {"SL010", 37},
-			{"SL003", 44}, {"SL010", 44},
+			{"SL001", 33}, {"SL010", 33},
+			{"SL002", 38}, {"SL010", 38},
+			{"SL003", 45}, {"SL010", 45},
 		}},
 		{dir: "sl011", path: ModulePath + "/internal/oskernel", want: []want{
 			{"SL011", 12}, {"SL011", 34},
@@ -151,7 +154,7 @@ func TestInterprocChainMessages(t *testing.T) {
 	}
 	wantMsg := "wall-clock read reachable from simulation entrypoint sl010.Run: " +
 		"sl010.Run → sl010.advance → sl010.stamp: time.Now"
-	assertMsg(t, diags, "SL010", 32, wantMsg)
+	assertMsg(t, diags, "SL010", 33, wantMsg)
 
 	diags, err = r.LintDir(ModulePath+"/internal/sl012", filepath.Join("testdata", "sl012"))
 	if err != nil {
@@ -210,6 +213,39 @@ func TestExplain(t *testing.T) {
 	}
 	if _, err := r.Explain("SL010", "noSuchFunc"); err == nil {
 		t.Error("Explain matched a nonexistent function")
+	}
+}
+
+// TestUnusedWaiverReported runs LintTree sweeps over the waiver
+// fixtures: a well-formed directive that suppresses nothing is itself
+// an SL000 finding, while the used waivers of the waiver fixture stay
+// silent (its expected findings are the seeded malformed-directive
+// ones, same as the LintDir case).
+func TestUnusedWaiverReported(t *testing.T) {
+	fixtures := filepath.Join(moduleRoot(t), "internal", "lint", "testdata")
+
+	r := NewRunner(moduleRoot(t))
+	diags, err := r.LintTree(filepath.Join(fixtures, "waiverunused"))
+	if err != nil {
+		t.Fatalf("LintTree: %v", err)
+	}
+	if len(diags) != 1 || diags[0].Rule != "SL000" || diags[0].Pos.Line != 8 ||
+		!strings.Contains(diags[0].Msg, "unused") {
+		t.Fatalf("want one SL000 unused-waiver finding at line 8, got:\n%s", render(diags))
+	}
+
+	r = NewRunner(moduleRoot(t))
+	diags, err = r.LintTree(filepath.Join(fixtures, "waiver"))
+	if err != nil {
+		t.Fatalf("LintTree: %v", err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Msg, "unused") {
+			t.Errorf("used waiver reported as unused: %s", d)
+		}
+	}
+	if len(diags) != 4 {
+		t.Errorf("waiver fixture sweep: got %d diagnostics, want 4:\n%s", len(diags), render(diags))
 	}
 }
 

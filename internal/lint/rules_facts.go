@@ -19,8 +19,9 @@ import (
 // declared in the pass's package and reports each reachable
 // nondeterminism source once, with the shortest call chain from the
 // entrypoint. Diagnostics anchor at the offending construct (where
-// SL001–SL003 would fire file-locally), so a single waiver covers both
-// the local rule and this one.
+// SL001–SL003 would fire file-locally), and waiverCovers (waiver.go)
+// makes a waiver for the local rule suppress this one at the same
+// line, so a single reviewed directive clears both findings.
 func checkSimPath(p *Pass) {
 	fe := p.runner.factsEngine()
 	const det = factWallclock | factGlobalRand | factMapRange

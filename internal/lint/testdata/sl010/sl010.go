@@ -14,6 +14,7 @@ func Run(n int, m map[string]uint64) uint64 {
 	total := advance(n)
 	total += jitter()
 	total += tally(m)
+	total += stampWaived()
 	return total
 }
 
@@ -48,4 +49,11 @@ func tally(m map[string]uint64) uint64 {
 
 func cost(k string) uint64 {
 	return uint64(len(k))
+}
+
+// stampWaived is reachable from Run, but its wall-clock read carries an
+// SL001 waiver — which also covers SL010's interprocedural echo at the
+// same line, so neither rule fires here.
+func stampWaived() uint64 {
+	return uint64(time.Now().UnixNano()) //simlint:ignore SL001 fixture: a local-rule waiver covers the SL010 echo too
 }

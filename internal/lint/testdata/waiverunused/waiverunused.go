@@ -1,0 +1,10 @@
+// Package waiverunused seeds a stale waiver: the directive is
+// well-formed but suppresses nothing on its line, so a LintTree sweep
+// reports it under SL000 instead of letting it linger silently.
+package waiverunused
+
+// nothingToSuppress is rule-clean; the trailing directive once waived a
+// wall-clock read that has since been removed.
+func nothingToSuppress() int { //simlint:ignore SL001 stale: the wall-clock read here was removed
+	return 42
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -13,7 +14,13 @@ import (
 // suppresses matching diagnostics: a trailing directive covers its own
 // line, a directive alone on its line covers the next line. The reason
 // is mandatory — a reason-less or otherwise malformed directive is
-// itself a finding (rule SL000) and suppresses nothing.
+// itself a finding (rule SL000) and suppresses nothing. A waiver for
+// one of the file-local determinism rules (SL001–SL003) also covers
+// SL010, whose diagnostics anchor at the same construct, so one
+// reviewed directive clears both the local finding and its
+// interprocedural echo. Tree sweeps (LintTree) additionally report
+// waivers that suppressed nothing, so stale directives surface as
+// SL000 findings instead of lingering silently.
 
 const ignoreDirective = "//simlint:ignore"
 
@@ -21,7 +28,8 @@ const ignoreDirective = "//simlint:ignore"
 type waiver struct {
 	rule   string // the waived rule, e.g. "SL012"
 	reason string
-	line   int // the source line the waiver covers
+	line   int       // the source line the waiver covers
+	pos    token.Pos // the directive itself, for unused-waiver reports
 	used   bool
 }
 
@@ -65,7 +73,7 @@ func (r *Runner) indexWaivers(f *ast.File, src []byte) {
 				line++ // a directive alone on its line covers the next
 			}
 			r.waivers[pos.Filename] = append(r.waivers[pos.Filename], waiver{
-				rule: id, reason: reason, line: line,
+				rule: id, reason: reason, line: line, pos: c.Pos(),
 			})
 		}
 	}
@@ -104,12 +112,65 @@ func (r *Runner) applyWaivers(diags []Diagnostic) []Diagnostic {
 func (r *Runner) waived(d Diagnostic) bool {
 	ws := r.waivers[d.Pos.Filename]
 	for i := range ws {
-		if ws[i].rule == d.Rule && ws[i].line == d.Pos.Line {
+		if waiverCovers(ws[i].rule, d.Rule) && ws[i].line == d.Pos.Line {
 			ws[i].used = true
 			return true
 		}
 	}
 	return false
+}
+
+// waiverCovers reports whether a directive naming waivedRule suppresses
+// a diagnostic from diagRule on its line. Exact matches always do; in
+// addition, a waiver for one of the file-local determinism rules
+// (SL001–SL003) covers SL010, which anchors its diagnostic at the same
+// offending construct — so a single reviewed directive clears both the
+// local finding and its interprocedural echo. The reverse does not
+// hold: an SL010 waiver names the reachability finding only, leaving
+// the local rule to demand its own justification.
+func waiverCovers(waivedRule, diagRule string) bool {
+	if waivedRule == diagRule {
+		return true
+	}
+	if diagRule != "SL010" {
+		return false
+	}
+	switch waivedRule {
+	case "SL001", "SL002", "SL003":
+		return true
+	}
+	return false
+}
+
+// unusedWaiverDiags returns SL000 findings for well-formed waivers in
+// the given files that suppressed nothing — stale directives whose
+// finding has since been fixed (or never existed). Only files that
+// were actually linted are eligible: a dependency package loaded for
+// type-checking but outside the linted tree never had its rules run,
+// so its waivers had no chance to be used.
+func (r *Runner) unusedWaiverDiags(lintedFiles map[string]bool) []Diagnostic {
+	files := make([]string, 0, len(r.waivers))
+	for f := range r.waivers {
+		if lintedFiles[f] {
+			files = append(files, f)
+		}
+	}
+	sort.Strings(files)
+	var out []Diagnostic
+	for _, f := range files {
+		for _, w := range r.waivers[f] {
+			if w.used {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Rule: "SL000",
+				Pos:  r.fset.Position(w.pos),
+				Msg: "unused //simlint:ignore " + w.rule +
+					" waiver: it suppresses no finding; remove the stale directive",
+			})
+		}
+	}
+	return out
 }
 
 // checkWaiverDirectives is SL000: malformed ignore directives in the
