@@ -1,0 +1,36 @@
+package analytics
+
+import (
+	"graphmem/internal/machine"
+	"graphmem/internal/vm"
+)
+
+// Rebind returns a copy of the image attached to a fork of its
+// machine: the array VMA pointers are translated to the forked address
+// space's counterparts (same virtual layout, same stats tags — Fork
+// copies the per-array counters), the immutable graph is shared, and
+// the gather buffer starts fresh (it is scratch space; its capacity is
+// pre-grown to match so the fork allocates no differently than the
+// original would have). Kernels run on the rebound image drive the
+// forked machine exactly as they would have driven the original.
+func (img *Image) Rebind(m *machine.Machine) *Image {
+	re := func(v *vm.VMA) *vm.VMA {
+		if v == nil {
+			return nil
+		}
+		return m.Space.Counterpart(v)
+	}
+	return &Image{
+		App:         img.App,
+		G:           img.G,
+		M:           m,
+		Vertex:      re(img.Vertex),
+		Edge:        re(img.Edge),
+		Values:      re(img.Values),
+		Prop:        re(img.Prop),
+		Work:        re(img.Work),
+		Misc:        re(img.Misc),
+		initialized: img.initialized,
+		gbuf:        make([]uint64, 0, cap(img.gbuf)),
+	}
+}

@@ -129,6 +129,15 @@ func SelectiveTHP(pct float64) Policy {
 	}
 }
 
+// DeferredTHP is THP=madvise with no regions advised at load time: the
+// whole image faults in at 4KB and the page-size decision is deferred
+// to runtime. This is the starting state of the ext-rollout experiment,
+// which forks a post-init checkpoint and applies candidate madvise/mode
+// settings to each fork before probing them.
+func DeferredTHP() Policy {
+	return Policy{Name: "madv-defer", Mode: oskernel.ModeMadvise, Defrag: oskernel.DefragMadvise}
+}
+
 // AutoTHP advises the hottest property-array regions fitting a huge
 // page budget, chosen by static in-degree profiling (no reordering or
 // manual tuning required).

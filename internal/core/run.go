@@ -180,8 +180,37 @@ func (r *RunResult) HugeShareOfFootprint() float64 {
 	return float64(r.TotalHugeBytes) / float64(r.MappedBytes)
 }
 
-// Run executes one configuration end to end.
+// Run executes one configuration end to end: the load phase
+// (environment staging, mmap, madvise, init faulting) followed by the
+// kernel phase on the same machine. Campaign cells that share a load
+// phase can instead Prepare once and fork per kernel (snapshot.go);
+// Run remains the monolithic reference path the fork layer is diffed
+// against.
 func Run(spec RunSpec) (*RunResult, error) {
+	p, err := prepare(spec)
+	if err != nil {
+		return nil, err
+	}
+	return p.finish(p.m, p.img), nil
+}
+
+// prepared is a machine carried through the load phase: environment
+// staged, image mapped and advised, init phase complete and audited.
+// It is the state a Checkpoint snapshots; finish runs the kernel phase
+// on it (or on a fork of it) and assembles the RunResult.
+type prepared struct {
+	spec      RunSpec // normalized: hardware defaults filled in
+	g         *graph.Graph
+	wss       uint64
+	memBytes  uint64
+	preCycles uint64
+	m         *machine.Machine
+	img       *analytics.Image
+	supply    []SupplySample
+}
+
+// prepare executes everything up to (and including) the init phase.
+func prepare(spec RunSpec) (*prepared, error) {
 	if spec.Graph == nil {
 		return nil, fmt.Errorf("core: RunSpec.Graph is nil")
 	}
@@ -288,12 +317,20 @@ func Run(spec RunSpec) (*RunResult, error) {
 	}
 	applyAdvice(img, spec.Policy)
 
-	var supply []SupplySample
+	p := &prepared{
+		spec:      spec,
+		g:         g,
+		wss:       wss,
+		memBytes:  memBytes,
+		preCycles: preCycles,
+		m:         m,
+		img:       img,
+	}
 	if spec.SampleSupplyEvery > 0 {
 		m.AddTicker(spec.SampleSupplyEvery, func(now uint64) {
 			_, edgeHuge := img.Edge.MappedBytes()
 			_, propHuge := img.Prop.MappedBytes()
-			supply = append(supply, SupplySample{
+			p.supply = append(p.supply, SupplySample{
 				Cycles:         now,
 				FreeHugeBlocks: m.Mem.FreeHugeBlocks(),
 				EdgeHugeBytes:  edgeHuge,
@@ -304,23 +341,31 @@ func Run(spec RunSpec) (*RunResult, error) {
 
 	img.Init(spec.Order)
 	auditMachine(m) // faults, THP promotion, compaction and reclaim all ran
+	return p, nil
+}
 
-	opts := spec.Run
+// finish runs the kernel phase on m/img — either the prepared machine
+// itself (the monolithic Run path) or a Fork of it (the Checkpoint
+// path; forking is what lets several kernels share one load phase) —
+// and assembles the RunResult. It reads the prepared state but never
+// mutates it, so one Checkpoint can finish any number of forks.
+func (p *prepared) finish(m *machine.Machine, img *analytics.Image) *RunResult {
+	opts := p.spec.Run
 	if opts.Root == 0 && opts.PRMaxIters == 0 {
-		opts = analytics.DefaultRunOptions(g)
+		opts = analytics.DefaultRunOptions(p.g)
 	}
 	out := img.Run(opts)
 	auditMachine(m) // end of kernel: final layout must balance
 
 	phases := m.FinishPhases()
 	res := &RunResult{
-		Spec:             spec,
-		WSSBytes:         wss,
-		MemoryBytes:      memBytes,
-		PreprocessCycles: preCycles,
+		Spec:             p.spec,
+		WSSBytes:         p.wss,
+		MemoryBytes:      p.memBytes,
+		PreprocessCycles: p.preCycles,
 		Arrays:           m.ArrayStats(),
 		OS:               m.Kernel.Stats(),
-		Supply:           supply,
+		Supply:           p.supply,
 		Output:           out,
 	}
 	for _, p := range phases {
@@ -346,7 +391,7 @@ func Run(spec RunSpec) (*RunResult, error) {
 			res.PropHugeBytes = huge
 		}
 	}
-	return res, nil
+	return res
 }
 
 // auditMachine runs the simcheck invariant audits over every stateful

@@ -54,6 +54,7 @@ var Registry = []Experiment{
 	{"ext-auto", "§7 future work", "automatic profile-guided madvise plans", (*Suite).AutoSelective, (*Suite).autoSelectiveCells},
 	{"ext-cc", "§3.2", "Connected Components extension workload", (*Suite).CCWorkload, (*Suite).ccCells},
 	{"ext-grid", "control", "road-network negative control", (*Suite).GridControl, nil},
+	{"ext-rollout", "§7 future work", "online policy rollout via checkpoint forks", (*Suite).Rollout, nil},
 }
 
 // Find returns the experiment with the given id.

@@ -14,7 +14,7 @@
 // never walk a collected VA slice through scalar Access instead of the
 // gather path).
 //
-// Each rule is a table entry with a stable ID (SL001…SL009) so tests
+// Each rule is a table entry with a stable ID (SL001…SL013) so tests
 // can seed violations in testdata fixtures and assert exact
 // diagnostics, and so waivers in code review can name the rule they
 // waive. Test files are exempt from every rule: tests may time
@@ -296,7 +296,7 @@ func (r *Runner) LoadTree(root string) error {
 // diagnostics gathered before the failure.
 //
 // The whole tree is loaded before any rule runs: the interprocedural
-// rules (SL010–SL012) consult a module-wide facts engine, and building
+// rules (SL010–SL013) consult a module-wide facts engine, and building
 // it over a partially loaded module would make their findings depend on
 // directory sort order — a package linted early would miss call-graph
 // edges and global writes contributed by packages outside its import

@@ -145,6 +145,19 @@ func AllRules() []Rule {
 			Applies: internalOnly,
 			Check:   checkFastPathReach,
 		},
+		{
+			ID:   "SL013",
+			Name: "snapshot-completeness",
+			Doc: "every Clone/Fork/Rebind method must reference every field of " +
+				"its receiver struct (selector, composite-literal key, or " +
+				"unkeyed literal), in its own body or a same-package function " +
+				"it transitively reaches — a field the clone never mentions is " +
+				"state a fork silently drops, the exact bug the snapshot " +
+				"equivalence gate exists to catch; machine.Machine must have " +
+				"a Fork method to anchor the contract",
+			Applies: internalOnly,
+			Check:   checkSnapshotCompleteness,
+		},
 	}
 }
 

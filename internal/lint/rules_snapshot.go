@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SL013: snapshot completeness. The fork layer's correctness argument
+// (DESIGN.md §5b) is that every Clone/Fork method is an exhaustive
+// field-by-field copy — a field silently dropped by a clone is exactly
+// the bug the byte-identical CI gate exists to catch, but that gate
+// only covers state the campaign happens to exercise. This rule closes
+// the gap statically: for every struct with a snapshot method declared
+// in the pass's package, each declared field must be *referenced* —
+// read through a selector, named as a composite-literal key, or
+// covered by an unkeyed literal — inside the method or inside a
+// same-package function the method transitively reaches (per the facts
+// engine's call graph). A field the clone deliberately resets still
+// satisfies the rule by being mentioned (e.g. `lastVMA: nil` with a
+// comment); a field the clone has never heard of does not, which is
+// the failure mode this rule is for: someone adds state to a forked
+// struct and forgets the clone.
+
+// snapshotMethodNames are the method names that promise an exhaustive
+// copy of their receiver's state. Rebind is the image's fork
+// constructor (analytics.Image.Rebind), included so adding an Image
+// field without rebinding it is caught like any other clone gap.
+func isSnapshotMethodName(name string) bool {
+	switch name {
+	case "Clone", "clone", "Fork", "Rebind":
+		return true
+	}
+	return false
+}
+
+// checkSnapshotCompleteness verifies every snapshot method declared in
+// the package copies (or deliberately mentions) every field of its
+// receiver struct, and anchors the whole contract by requiring that
+// machine.Machine — the root of the forked object graph — has a Fork
+// method at all.
+func checkSnapshotCompleteness(p *Pass) {
+	type target struct {
+		named *types.Named
+		fn    *types.Func
+	}
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var targets []target
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if fd.Recv == nil || !isSnapshotMethodName(fd.Name.Name) {
+				continue
+			}
+			named := receiverStruct(fn)
+			if named == nil || named.Obj().Pkg() != p.Pkg {
+				continue
+			}
+			targets = append(targets, target{named, fn})
+		}
+	}
+
+	// Anchor: the machine package must expose Machine.Fork. Without
+	// this, deleting the fork layer wholesale would also delete every
+	// struct this rule checks, and the rule would pass vacuously.
+	if p.Path == ModulePath+"/internal/machine" {
+		found := false
+		for _, t := range targets {
+			if t.named.Obj().Name() == "Machine" && t.fn.Name() == "Fork" {
+				found = true
+			}
+		}
+		if !found {
+			if pos := typeDeclPos(p, "Machine"); pos.IsValid() {
+				p.Reportf(pos, "machine.Machine has no Fork method: the snapshot layer's root clone is missing (SL013's completeness contract has nothing to anchor to)")
+			}
+		}
+	}
+
+	if len(targets) == 0 {
+		return
+	}
+	fe := p.runner.factsEngine()
+	for _, t := range targets {
+		st, ok := t.named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		refs := make(map[types.Object]bool)
+		for _, fd := range reachableDecls(p, fe, t.fn, decls) {
+			collectFieldRefs(p, fd, refs)
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == "_" || refs[f] {
+				continue
+			}
+			p.Reportf(f.Pos(), "field %s.%s is never referenced by %s or any same-package function it reaches: a fork would silently drop it; copy it (or mention it with a deliberate zero and a comment)",
+				t.named.Obj().Name(), f.Name(), t.fn.Name())
+		}
+	}
+}
+
+// typeDeclPos finds the declaration position of a named type in the
+// pass's files (token.NoPos when absent).
+func typeDeclPos(p *Pass, name string) token.Pos {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == name {
+					return ts.Name.Pos()
+				}
+			}
+		}
+	}
+	return token.NoPos
+}
+
+// receiverStruct resolves a method's receiver to its named struct
+// type, looking through one level of pointer.
+func receiverStruct(fn *types.Func) *types.Named {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// reachableDecls returns the function declarations in the pass's
+// package transitively reachable from fn (fn included), per the facts
+// engine's call graph. Function literals need no separate handling:
+// a literal's body is nested inside some declaration's AST, and
+// ast.Inspect over that declaration walks it.
+func reachableDecls(p *Pass, fe *factsEngine, fn *types.Func, decls map[*types.Func]*ast.FuncDecl) []*ast.FuncDecl {
+	root := fe.graph.byFunc[fn]
+	if root == nil {
+		if fd := decls[fn]; fd != nil {
+			return []*ast.FuncDecl{fd}
+		}
+		return nil
+	}
+	seen := map[*graphNode]bool{root: true}
+	queue := []*graphNode{root}
+	var out []*ast.FuncDecl
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.fn != nil {
+			if fd := decls[n.fn]; fd != nil {
+				out = append(out, fd)
+			}
+		}
+		for _, e := range n.out {
+			if e.to.pkg != p.Pkg || seen[e.to] {
+				continue
+			}
+			seen[e.to] = true
+			queue = append(queue, e.to)
+		}
+	}
+	return out
+}
+
+// collectFieldRefs records every struct field the declaration's body
+// references: selector reads/writes (types.FieldVal selections), keys
+// of keyed struct composite literals, and — for unkeyed struct
+// literals — every field of the literal's type.
+func collectFieldRefs(p *Pass, fd *ast.FuncDecl, refs map[types.Object]bool) {
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				refs[sel.Obj()] = true
+			}
+		case *ast.CompositeLit:
+			tv, ok := p.Info.Types[e]
+			if !ok {
+				return true
+			}
+			st, ok := tv.Type.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			keyed := false
+			for _, elt := range e.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				keyed = true
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if obj := p.Info.Uses[key]; obj != nil {
+						refs[obj] = true
+					}
+				}
+			}
+			if !keyed && len(e.Elts) > 0 {
+				for i := 0; i < st.NumFields(); i++ {
+					refs[st.Field(i)] = true
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,57 @@
+package memsys
+
+import "graphmem/internal/check"
+
+// Clone returns an independent deep copy of the node: frame metadata,
+// buddy bitsets and counters, reclaim queues, and allocator stats. The
+// clone shares nothing mutable with the original, so allocations,
+// compaction, and reclaim on one are invisible to the other.
+//
+// Frame metadata embeds Owner callbacks pointing at the mapping
+// structures of the ORIGINAL machine (address spaces, page caches,
+// workload hogs). Leaving those in place would make compaction and
+// reclaim on the clone mutate the original's page tables — the classic
+// fork-aliasing bug. The caller therefore supplies remap, which must
+// translate every distinct owner it ever registered to that owner's
+// counterpart in the forked machine; remap receives the clone under
+// construction, since replacement owners are typically bound to it. Clone panics if remap returns nil
+// for a live owner: an owner the fork layer cannot account for means
+// the snapshot is incomplete, and a loud failure beats silent
+// cross-fork corruption.
+func (m *Memory) Clone(remap func(old Owner, clone *Memory) Owner) *Memory {
+	c := &Memory{
+		nframes:     m.nframes,
+		frames:      append([]frameInfo(nil), m.frames...),
+		freeCount:   m.freeCount,
+		hint:        m.hint,
+		freePages:   m.freePages,
+		allocByType: m.allocByType,
+		stats:       m.stats,
+	}
+	for o := range m.freeBits {
+		c.freeBits[o] = append([]uint64(nil), m.freeBits[o]...)
+	}
+	for qi := range m.reclaimQ {
+		c.reclaimQ[qi] = m.reclaimQ[qi].clone()
+	}
+	for i := range c.frames {
+		old := c.frames[i].owner
+		if old == nil {
+			continue
+		}
+		nw := remap(old, c)
+		if nw == nil {
+			panic(check.Failf("memsys: Clone remap returned nil for owner of frame %d (%T): snapshot incomplete", i, old))
+		}
+		c.frames[i].owner = nw
+	}
+	return c
+}
+
+// clone deep-copies one reclaim FIFO, preserving candidate order.
+func (q *frameQueue) clone() frameQueue {
+	return frameQueue{
+		items: append([]Frame(nil), q.items...),
+		head:  q.head,
+	}
+}

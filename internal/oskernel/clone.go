@@ -1,0 +1,30 @@
+package oskernel
+
+import (
+	"graphmem/internal/memsys"
+	"graphmem/internal/vm"
+)
+
+// Clone returns an independent copy of the policy engine bound to a
+// cloned physical node and address space (the caller clones those
+// first; the kernel layer holds no mapping state of its own). Scan and
+// demotion cursors, the last-khugepaged-scan deadline, counters, and
+// the hugetlbfs reservation pool all carry over, so the forked
+// kernel's next decision — which region khugepaged scans, when the
+// next tick fires, which huge frame a reservation hands out — is
+// exactly the decision the original would have made.
+func (k *Kernel) Clone(mem *memsys.Memory, space *vm.AddressSpace) *Kernel {
+	return &Kernel{
+		cfg:          k.cfg,
+		mem:          mem,
+		space:        space,
+		model:        k.model,
+		stats:        k.stats,
+		scanVMA:      k.scanVMA,
+		scanRegion:   k.scanRegion,
+		lastScan:     k.lastScan,
+		demoteVMA:    k.demoteVMA,
+		demoteRegion: k.demoteRegion,
+		hugetlbPool:  append([]memsys.Frame(nil), k.hugetlbPool...),
+	}
+}

@@ -1,0 +1,95 @@
+package vm
+
+import (
+	"graphmem/internal/check"
+	"graphmem/internal/memsys"
+)
+
+// Clone returns an independent deep copy of the address space: every
+// live VMA with its per-page and per-region mapping arrays, advice,
+// swap and heat state, plus the paging-structure bookkeeping. Three
+// bindings deliberately do NOT carry over, because they point into the
+// machine being forked rather than into the address space itself:
+//
+//   - mem is left nil: the caller clones the physical node separately
+//     (its frame metadata needs an owner remap that requires this clone
+//     to exist first) and then calls AttachMem;
+//   - Shootdown is left nil: the forked machine installs its own
+//     invalidation callback, exactly as machine.New does;
+//   - lastVMA is left nil: it is a pure lookup accelerator, and FindVMA
+//     returns identical results either way.
+func (as *AddressSpace) Clone() *AddressSpace {
+	c := &AddressSpace{
+		mem:              nil,
+		vmas:             make([]*VMA, 0, len(as.vmas)),
+		byID:             make(map[uint32]*VMA, len(as.byID)),
+		nextBase:         as.nextBase,
+		nextID:           as.nextID,
+		Shootdown:        nil,
+		SimPageTables:    as.SimPageTables,
+		PageTableBytes:   as.PageTableBytes,
+		pml4:             as.pml4,
+		pdpt:             as.pdpt,
+		pds:              make(map[uint64]memsys.Frame, len(as.pds)),
+		SwappedOut:       as.SwappedOut,
+		ReclaimDemotions: as.ReclaimDemotions,
+		lastVMA:          nil,
+	}
+	for key, f := range as.pds {
+		c.pds[key] = f
+	}
+	for _, v := range as.vmas {
+		nv := v.clone(c)
+		c.vmas = append(c.vmas, nv)
+		c.byID[nv.id] = nv
+	}
+	return c
+}
+
+// clone deep-copies one VMA, rebinding its space back-pointer to the
+// cloned address space. VMA ids are preserved, which keeps the memsys
+// owner cookies (vma id + page/region index) valid across the fork and
+// lets Counterpart translate original-machine VMA pointers.
+func (v *VMA) clone(space *AddressSpace) *VMA {
+	return &VMA{
+		Name:      v.Name,
+		Base:      v.Base,
+		Bytes:     v.Bytes,
+		Pages:     v.Pages,
+		StatsTag:  v.StatsTag,
+		id:        v.id,
+		space:     space,
+		advice:    append([]Advice(nil), v.advice...),
+		base:      append([]memsys.Frame(nil), v.base...),
+		huge:      append([]memsys.Frame(nil), v.huge...),
+		swap:      append([]bool(nil), v.swap...),
+		present4k: append([]uint16(nil), v.present4k...),
+		ptFrames:  append([]memsys.Frame(nil), v.ptFrames...),
+		Heat:      append([]uint64(nil), v.Heat...),
+		dead:      v.dead,
+	}
+}
+
+// AttachMem binds a cloned address space to its (cloned) physical node.
+// Clone leaves the binding empty on purpose; attaching twice, or using
+// the space before attaching, is a fork-layer bug.
+func (as *AddressSpace) AttachMem(mem *memsys.Memory) {
+	if as.mem != nil {
+		panic(check.Failf("vm: AttachMem on an address space that already has memory"))
+	}
+	as.mem = mem
+}
+
+// Counterpart returns this space's VMA with the same identity as v,
+// which belongs to the space this one was cloned from. Machine-layer
+// structures that cache *VMA pointers (translation caches, registered
+// stats arrays, workload images) use it to remap themselves after a
+// fork. It panics when no counterpart exists: a VMA unmapped on one
+// side of the fork cannot be remapped to the other.
+func (as *AddressSpace) Counterpart(v *VMA) *VMA {
+	nv := as.byID[v.id]
+	if nv == nil {
+		panic(check.Failf("vm: no counterpart for VMA %q (id %d) in cloned space", v.Name, v.id))
+	}
+	return nv
+}

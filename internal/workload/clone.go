@@ -1,0 +1,30 @@
+package workload
+
+import "graphmem/internal/memsys"
+
+// Clone returns a copy of the memhog bound to a cloned physical node,
+// for machine forks: the frame list is deep-copied so compaction on
+// either side of the fork updates only its own hog's bookkeeping. The
+// caller passes this clone as the owner remap target for the original
+// hog (see memsys.Memory.Clone).
+func (h *Memhog) Clone(mem *memsys.Memory) *Memhog {
+	return &Memhog{
+		mem:    mem,
+		frames: append([]memsys.Frame(nil), h.frames...),
+	}
+}
+
+// Clone returns a copy of the page cache bound to a cloned physical
+// node, for machine forks: the resident-frame set is deep-copied so
+// reclaim on either side of the fork drops only its own cache's
+// entries.
+func (pc *PageCache) Clone(mem *memsys.Memory) *PageCache {
+	c := &PageCache{
+		mem:    mem,
+		frames: make(map[memsys.Frame]struct{}, len(pc.frames)),
+	}
+	for f := range pc.frames {
+		c.frames[f] = struct{}{}
+	}
+	return c
+}

@@ -8,7 +8,9 @@
 # (BenchmarkAccessGather vs BenchmarkAccessGatherScalar: the same
 # irregular neighbor-gather-shaped stream through AccessGather and
 # through per-element Access), the end-to-end headline experiment
-# benchmark, and a timed bench-scale campaign subset, then merges the
+# benchmark, a timed bench-scale campaign subset, and the snapshot-layer
+# wall-clock pair (the same rollout-bearing subset with checkpoint
+# forking on vs GRAPHMEM_NO_SNAPSHOT=1), then merges the
 # figures into BENCH_access.json via cmd/benchjson — updated keys
 # change in place, keys this script does not know about survive — so
 # subsequent PRs have a recorded baseline to compare against.
@@ -66,8 +68,18 @@ go build -o "$bin" ./cmd/expdriver
 campaign_start=$(date +%s)
 "$bin" -scale bench -exp fig5,pagecache -j 1 >/dev/null
 campaign_end=$(date +%s)
-rm -f "$bin"
 wall=$((campaign_end - campaign_start))
+
+echo "== snapshot-layer wall-clock (bench scale, fig5+pagecache+ext-rollout, -j 1)" >&2
+snap_start=$(date +%s)
+"$bin" -scale bench -exp fig5,pagecache,ext-rollout -j 1 >/dev/null
+snap_wall=$(( $(date +%s) - snap_start ))
+nosnap_start=$(date +%s)
+GRAPHMEM_NO_SNAPSHOT=1 "$bin" -scale bench -exp fig5,pagecache,ext-rollout -j 1 >/dev/null
+nosnap_wall=$(( $(date +%s) - nosnap_start ))
+rm -f "$bin"
+speedup=$(awk "BEGIN { printf \"%.2f\", $nosnap_wall / ($snap_wall > 0 ? $snap_wall : 1) }")
+echo "snapshot on: ${snap_wall}s, off: ${nosnap_wall}s (speedup ${speedup}x)" >&2
 
 go run ./cmd/benchjson -file "$out" \
     "microbenchmark=BenchmarkAccess (internal/machine, steady-state fast path)" \
@@ -84,6 +96,10 @@ go run ./cmd/benchjson -file "$out" \
     "headline_benchmark=BenchmarkHeadline (-benchtime 1x, bench scale)" \
     "headline_ns_per_op=${hns:-0}" \
     "campaign=expdriver -scale bench -exp fig5,pagecache -j 1" \
-    "campaign_wall_seconds=$wall"
+    "campaign_wall_seconds=$wall" \
+    "snapshot_campaign=expdriver -scale bench -exp fig5,pagecache,ext-rollout -j 1, forking vs GRAPHMEM_NO_SNAPSHOT=1" \
+    "campaign_snapshot_wall_seconds=$snap_wall" \
+    "campaign_nosnapshot_wall_seconds=$nosnap_wall" \
+    "campaign_snapshot_speedup=$speedup"
 echo "wrote $out" >&2
 cat "$out"

@@ -3,7 +3,7 @@
 #
 #   1. gofmt            formatting drift
 #   2. go vet           stdlib static checks
-#   3. simlint          project determinism rules (SL001..SL012),
+#   3. simlint          project determinism rules (SL001..SL013),
 #                       timed: the interprocedural facts engine must
 #                       keep the full-module sweep under 60s
 #   4. go build         both build-tag variants compile
@@ -28,7 +28,13 @@
 #                       the same campaign subset with the gather path
 #                       force-disabled (GRAPHMEM_NO_GATHER=1) must be
 #                       byte-identical to the gather-enabled run
-#  11. docsplice -check
+#  11. snapshot-layer equivalence
+#                       the rollout-bearing campaign subset with the
+#                       checkpoint/fork layer disabled
+#                       (GRAPHMEM_NO_SNAPSHOT=1) must be byte-identical
+#                       to the forking run at -j 1 and -j 4, and forking
+#                       must cut the subset's wall-clock by >= 2x
+#  12. docsplice -check
 #                       EXPERIMENTS.md's measured blocks match results/
 #
 # Run from the repository root: ./scripts/ci.sh
@@ -103,6 +109,34 @@ GRAPHMEM_NO_GATHER=1 "$tmp/expdriver" -scale bench -exp "$subset" -j 1 \
 diff "$tmp/stdout1.txt" "$tmp/stdoutng.txt"
 diff "$tmp/out1.md" "$tmp/outng.md"
 diff -r "$tmp/csv1" "$tmp/csvng"
+
+echo "== snapshot-layer equivalence: GRAPHMEM_NO_SNAPSHOT=1 vs forking"
+# ext-rollout is the fork-heavy experiment (one load phase, five forked
+# candidates per dataset); fig5+pagecache ride along so the diff also
+# covers checkpointed full runs and page-cache owner cloning.
+snap_subset="fig5,pagecache,ext-rollout"
+mkdir -p "$tmp/csvs1" "$tmp/csvs4" "$tmp/csvns"
+snap_start=$(date +%s)
+"$tmp/expdriver" -scale bench -exp "$snap_subset" -j 1 \
+    -out "$tmp/outs1.md" -csv "$tmp/csvs1" > "$tmp/stdouts1.txt"
+snap_elapsed=$(( $(date +%s) - snap_start ))
+"$tmp/expdriver" -scale bench -exp "$snap_subset" -j 4 \
+    -out "$tmp/outs4.md" -csv "$tmp/csvs4" > "$tmp/stdouts4.txt"
+diff "$tmp/stdouts1.txt" "$tmp/stdouts4.txt"
+diff "$tmp/outs1.md" "$tmp/outs4.md"
+diff -r "$tmp/csvs1" "$tmp/csvs4"
+nosnap_start=$(date +%s)
+GRAPHMEM_NO_SNAPSHOT=1 "$tmp/expdriver" -scale bench -exp "$snap_subset" -j 1 \
+    -out "$tmp/outns.md" -csv "$tmp/csvns" > "$tmp/stdoutns.txt"
+nosnap_elapsed=$(( $(date +%s) - nosnap_start ))
+diff "$tmp/stdouts1.txt" "$tmp/stdoutns.txt"
+diff "$tmp/outs1.md" "$tmp/outns.md"
+diff -r "$tmp/csvs1" "$tmp/csvns"
+echo "snapshot on: ${snap_elapsed}s, off: ${nosnap_elapsed}s"
+if [ "$nosnap_elapsed" -lt $(( 2 * snap_elapsed )) ]; then
+    echo "snapshot layer speedup below 2x (on=${snap_elapsed}s off=${nosnap_elapsed}s): forks are not amortizing the load phase" >&2
+    exit 1
+fi
 
 echo "== docsplice -check (EXPERIMENTS.md in sync with results/)"
 go run ./cmd/docsplice -doc EXPERIMENTS.md -results results/expdriver_full.txt -check
