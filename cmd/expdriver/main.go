@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	expdriver [-scale full|bench|test] [-exp fig1,fig10,...] [-j N] [-out results.md] [-v]
-//	          [-cpuprofile cpu.out] [-memprofile mem.out]
+//	expdriver [-scale full|bench|test] [-exp fig1,fig10,...] [-j N] [-shards N]
+//	          [-out results.md] [-v] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -j runs the campaign's simulation cells on N workers (0 = all CPUs).
 // Parallelism changes wall-clock time only: stdout, the markdown file,
@@ -13,6 +13,15 @@
 // each cell is a pure function of its configuration and rendering is
 // sequential in registry order (see DESIGN.md §5). Timing and progress
 // go to stderr, keeping stdout comparable across runs.
+//
+// -shards sets how many worker goroutines drive each sharded cell's
+// shards (0 = GOMAXPROCS), composing with -j: a campaign can run cells
+// in parallel while each sharded cell also runs its shards in
+// parallel. Like -j it is an execution knob routed through
+// GRAPHMEM_SHARD_WORKERS, never part of any cell's configuration —
+// which shard counts are *modeled* is fixed by the experiments
+// (core.RunSpec.Shards) — so output stays byte-identical for every
+// -shards value (DESIGN.md §5c).
 //
 // A full-scale run of all experiments takes tens of minutes on one core;
 // -scale bench completes in a few minutes at reduced fidelity.
@@ -25,6 +34,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,6 +48,7 @@ func main() {
 	outPath := flag.String("out", "", "write markdown tables to this file")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	workers := flag.Int("j", 1, "parallel simulation workers (0 = all CPUs)")
+	shardWorkers := flag.Int("shards", 0, "worker goroutines per sharded cell (0 = all CPUs); execution-only, output is identical for every value")
 	verbose := flag.Bool("v", false, "log per-worker progress for each simulation cell")
 	listOnly := flag.Bool("list", false, "list experiments and exit")
 	priters := flag.Int("pr-iters", 3, "PageRank iteration cap")
@@ -94,6 +105,12 @@ func main() {
 
 	if *workers == 0 {
 		*workers = runtime.NumCPU()
+	}
+	if *shardWorkers > 0 {
+		// core.shardWorkers reads this per run; setting it here keeps
+		// the knob out of every RunSpec, which is what makes output
+		// independent of it.
+		os.Setenv("GRAPHMEM_SHARD_WORKERS", strconv.Itoa(*shardWorkers))
 	}
 
 	var log io.Writer

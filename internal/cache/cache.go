@@ -66,6 +66,16 @@ type Stats struct {
 	LLCMiss  uint64 // DRAM accesses
 }
 
+// Add returns the field-wise sum s + o (the sharded machine engine's
+// per-shard merge).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Accesses: s.Accesses + o.Accesses,
+		L1Misses: s.L1Misses + o.L1Misses,
+		LLCMiss:  s.LLCMiss + o.LLCMiss,
+	}
+}
+
 // L1MissRate returns L1 misses / accesses.
 func (s Stats) L1MissRate() float64 {
 	if s.Accesses == 0 {

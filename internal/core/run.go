@@ -119,6 +119,18 @@ type RunSpec struct {
 	// root, ε=1e-4, ≤10 PR iterations).
 	Run analytics.RunOptions
 
+	// Shards selects the sharded machine engine (DESIGN.md §5c): the
+	// graph is partitioned into this many contiguous vertex windows,
+	// each simulated by its own forked machine, with the kernel run as
+	// an owner-computes bulk-synchronous program. 0 or 1 runs the
+	// monolithic engine. The shard count is semantic — it changes the
+	// modeled system — while the number of worker goroutines driving
+	// the shards is an execution detail (GRAPHMEM_SHARD_WORKERS,
+	// expdriver -shards) that never changes output. Sharded runs
+	// require SnapshotSafe specs (no churn co-runner, no supply
+	// sampler).
+	Shards int
+
 	// PreReorderCost, when non-nil, declares that Graph has already
 	// been reordered externally (by the method named in Reorder) at
 	// this preprocessing cost. Run charges the cost but performs no
@@ -157,6 +169,11 @@ type RunResult struct {
 	// Supply holds the huge-page-economy timeline when
 	// RunSpec.SampleSupplyEvery was set.
 	Supply []SupplySample
+
+	// ShardKernelCycles holds each shard machine's kernel-phase cycles
+	// when RunSpec.Shards > 1 (KernelCycles is then the barrier
+	// makespan over these, not their sum). Nil for monolithic runs.
+	ShardKernelCycles []uint64
 
 	Output analytics.Result
 }
@@ -207,6 +224,10 @@ type prepared struct {
 	m         *machine.Machine
 	img       *analytics.Image
 	supply    []SupplySample
+
+	// cuts holds the shard vertex partition (len Shards+1) when
+	// spec.Shards > 1; nil otherwise (shard.go).
+	cuts []uint32
 }
 
 // prepare executes everything up to (and including) the init phase.
@@ -228,6 +249,13 @@ func prepare(spec RunSpec) (*prepared, error) {
 	// Preprocessing (reordering) happens before the machine exists:
 	// the paper performs it "separately in order to not interfere with
 	// the available memory for huge pages" but charges its time.
+	if spec.Shards > 1 && !SnapshotSafe(spec) {
+		return nil, fmt.Errorf("core: RunSpec.Shards=%d requires a snapshot-safe spec (no churn co-runner, no supply sampler): shard bring-up forks the prepared machine", spec.Shards)
+	}
+	if spec.Shards > 255 {
+		return nil, fmt.Errorf("core: RunSpec.Shards=%d exceeds the engine's 255-shard owner table", spec.Shards)
+	}
+
 	g := spec.Graph
 	var preCycles uint64
 	switch {
@@ -239,6 +267,16 @@ func prepare(spec RunSpec) (*prepared, error) {
 		var c reorder.Cost
 		g, c = reorder.Apply(g, spec.Reorder, spec.Env.Seed+1)
 		preCycles = uint64(c.VertexTraversals)*model.PreprocPerVertex +
+			uint64(c.EdgeTraversals)*model.PreprocPerEdge
+	}
+
+	// Shard partitioning is preprocessing too: a degree scan over the
+	// final (post-reorder) vertex order, charged like reordering.
+	var cuts []uint32
+	if spec.Shards > 1 {
+		var c reorder.Cost
+		cuts, c = reorder.Partition(g, spec.Shards)
+		preCycles += uint64(c.VertexTraversals)*model.PreprocPerVertex +
 			uint64(c.EdgeTraversals)*model.PreprocPerEdge
 	}
 
@@ -267,6 +305,7 @@ func prepare(spec RunSpec) (*prepared, error) {
 		Kernel:             kcfg,
 		SimulatePageTables: spec.SimulatePageTables,
 	})
+	applyAccessHatches(m)
 
 	// Stage the environment: age → memhog → frag → page cache.
 	workload.AgeSystem(m.Mem, spec.Env.AgedFraction, spec.Env.Seed)
@@ -325,6 +364,7 @@ func prepare(spec RunSpec) (*prepared, error) {
 		preCycles: preCycles,
 		m:         m,
 		img:       img,
+		cuts:      cuts,
 	}
 	if spec.SampleSupplyEvery > 0 {
 		m.AddTicker(spec.SampleSupplyEvery, func(now uint64) {
@@ -353,6 +393,9 @@ func (p *prepared) finish(m *machine.Machine, img *analytics.Image) *RunResult {
 	opts := p.spec.Run
 	if opts.Root == 0 && opts.PRMaxIters == 0 {
 		opts = analytics.DefaultRunOptions(p.g)
+	}
+	if p.spec.Shards > 1 {
+		return p.finishSharded(m, img, opts)
 	}
 	out := img.Run(opts)
 	auditMachine(m) // end of kernel: final layout must balance

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"os"
 
 	"graphmem/internal/analytics"
 	"graphmem/internal/machine"
@@ -26,10 +25,9 @@ import (
 // engines.
 
 // SnapshotsDisabled reports whether the GRAPHMEM_NO_SNAPSHOT escape
-// hatch is set: checkpoints then hold no machine and every fork replays
-// its load phase from the spec. Read per call so one process can host
-// both sides of an equivalence test.
-func SnapshotsDisabled() bool { return os.Getenv("GRAPHMEM_NO_SNAPSHOT") != "" }
+// hatch is open (HatchDisabled): checkpoints then hold no machine and
+// every fork replays its load phase from the spec.
+func SnapshotsDisabled() bool { return HatchDisabled(HatchSnapshot) }
 
 // SnapshotSafe reports whether spec's load phase can be checkpointed
 // and forked. Specs that register machine tickers — a churning

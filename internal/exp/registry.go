@@ -55,6 +55,7 @@ var Registry = []Experiment{
 	{"ext-cc", "§3.2", "Connected Components extension workload", (*Suite).CCWorkload, (*Suite).ccCells},
 	{"ext-grid", "control", "road-network negative control", (*Suite).GridControl, nil},
 	{"ext-rollout", "§7 future work", "online policy rollout via checkpoint forks", (*Suite).Rollout, nil},
+	{"ext-shard", "§6 scaling", "sharded machine engine: modeled intra-run scaling", (*Suite).ShardScaling, (*Suite).shardCells},
 }
 
 // Find returns the experiment with the given id.

@@ -144,11 +144,18 @@ type runCfg struct {
 	// sampleEvery enables the huge-page-economy timeline (Fig. 6);
 	// zero for every other cell.
 	sampleEvery uint64
+
+	// shards, when >1, runs the kernel phase on the sharded machine
+	// engine (core.RunSpec.Shards). Like every other field here it is a
+	// modeling knob — the worker count driving the shards is not part
+	// of the cell (GRAPHMEM_SHARD_WORKERS / expdriver -shards), so cell
+	// results stay byte-identical at any parallelism.
+	shards int
 }
 
 func (c runCfg) key() string {
-	return fmt.Sprintf("%s|%s|%s|%v|%s|%.3f|%+v|%d",
-		c.app, c.ds, c.method, c.order, c.policy.Name, c.policy.PropPercent, c.env, c.sampleEvery)
+	return fmt.Sprintf("%s|%s|%s|%v|%s|%.3f|%+v|%d|%d",
+		c.app, c.ds, c.method, c.order, c.policy.Name, c.policy.PropPercent, c.env, c.sampleEvery, c.shards)
 }
 
 // initKey names the cell's load phase: every field that shapes machine
@@ -156,10 +163,12 @@ func (c runCfg) key() string {
 // byte-identical post-init state, so they may fork from one shared
 // Checkpoint. sampleEvery is omitted deliberately — sampled cells never
 // take the snapshot path (core.SnapshotSafe), so it cannot split a
-// load phase.
+// load phase. shards is included: a sharded cell's Checkpoint carries
+// the partition (and its preprocessing charge) in its prepared state,
+// so sharded and monolithic cells may not share one.
 func (c runCfg) initKey() string {
-	return fmt.Sprintf("%s|%s|%s|%v|%s|%.3f|%+v",
-		c.app, c.ds, c.method, c.order, c.policy.Name, c.policy.PropPercent, c.env)
+	return fmt.Sprintf("%s|%s|%s|%v|%s|%.3f|%+v|%d",
+		c.app, c.ds, c.method, c.order, c.policy.Name, c.policy.PropPercent, c.env, c.shards)
 }
 
 // label is the short operator-facing cell name used in progress lines.
@@ -180,6 +189,7 @@ func (s *Suite) spec(c runCfg) core.RunSpec {
 		Env:               c.env,
 		TLB:               s.TLB,
 		SampleSupplyEvery: c.sampleEvery,
+		Shards:            c.shards,
 		Run: analytics.RunOptions{
 			Root:       e.root,
 			PREpsilon:  1e-4,

@@ -10,7 +10,8 @@ import (
 )
 
 // This file builds the module-wide call graph the interprocedural rules
-// (SL010 simpath, SL011 isolation, SL012 fastpath-reach) run on. Nodes
+// (SL010 simpath, SL011 isolation, SL012 fastpath-reach, SL014
+// shard-isolation) run on. Nodes
 // are module functions — declared functions, methods, and function
 // literals — and edges are possible calls:
 //

@@ -254,6 +254,8 @@ func ruleFacts(ruleID string) (factSet, bool) {
 		return factWritesGlobal, true
 	case "SL012":
 		return factAllocates, true
+	case "SL014":
+		return factWritesGlobal, true
 	}
 	return 0, false
 }
@@ -265,7 +267,7 @@ func ruleFacts(ruleID string) (factSet, bool) {
 func (r *Runner) Explain(ruleID, pattern string) ([]string, error) {
 	facts, ok := ruleFacts(ruleID)
 	if !ok {
-		return nil, fmt.Errorf("lint: -why supports the interprocedural rules SL010, SL011, SL012; %q is not one", ruleID)
+		return nil, fmt.Errorf("lint: -why supports the interprocedural rules SL010, SL011, SL012, SL014; %q is not one", ruleID)
 	}
 	fe := r.factsEngine()
 	var matched []*graphNode

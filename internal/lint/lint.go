@@ -14,7 +14,7 @@
 // never walk a collected VA slice through scalar Access instead of the
 // gather path).
 //
-// Each rule is a table entry with a stable ID (SL001…SL013) so tests
+// Each rule is a table entry with a stable ID (SL001…SL014) so tests
 // can seed violations in testdata fixtures and assert exact
 // diagnostics, and so waivers in code review can name the rule they
 // waive. Test files are exempt from every rule: tests may time
@@ -115,8 +115,8 @@ type Runner struct {
 	waivers    map[string][]waiver
 	badWaivers map[string][]badWaiver
 
-	// reported dedupes interprocedural findings: SL010/SL012 may derive
-	// the same finding from several entrypoints or passes.
+	// reported dedupes interprocedural findings: SL010/SL012/SL014 may
+	// derive the same finding from several entrypoints or passes.
 	reported map[string]bool
 }
 

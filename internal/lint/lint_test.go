@@ -57,6 +57,10 @@ func TestRuleFixtures(t *testing.T) {
 		// Tracker.count (line 25) is the seeded gap; note is waived on
 		// its declaration line, and pair's unkeyed literal is exempt.
 		{dir: "sl013", want: []want{{"SL013", 25}}},
+		// helpers.go:20 is the write scatter reaches through two untagged
+		// hops; worker.go:16 is the direct write in the tagged file.
+		// drain (shard-owned state only) stays silent.
+		{dir: "sl014", want: []want{{"SL014", 20}, {"SL014", 16}}},
 		{dir: "waiver", want: []want{
 			{"SL001", 24}, {"SL000", 24},
 			{"SL001", 29}, {"SL000", 29},
@@ -167,6 +171,16 @@ func TestInterprocChainMessages(t *testing.T) {
 		"(sl012.(*engine).grow → sl012.(*engine).reserve: make): " +
 		"the zero-alloc contract extends to everything the fast path calls"
 	assertMsg(t, diags, "SL012", 12, wantMsg)
+
+	diags, err = r.LintDir(ModulePath+"/internal/sl014", filepath.Join("testdata", "sl014"))
+	if err != nil {
+		t.Fatalf("LintDir: %v", err)
+	}
+	wantMsg = "package-level state write reachable from shard worker sl014.(*shard).scatter: " +
+		"shards run this concurrently, so shared globals break the deterministic merge: " +
+		"sl014.(*shard).scatter → sl014.(*shard).tally → sl014.(*shard).count: " +
+		"write to package-level var sl014.rounds"
+	assertMsg(t, diags, "SL014", 20, wantMsg)
 }
 
 func assertMsg(t *testing.T, diags []Diagnostic, rule string, line int, want string) {

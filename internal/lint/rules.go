@@ -158,6 +158,19 @@ func AllRules() []Rule {
 			Applies: internalOnly,
 			Check:   checkSnapshotCompleteness,
 		},
+		{
+			ID:   "SL014",
+			Name: "shard-isolation",
+			Doc: "functions declared in files tagged //simlint:shardworker may not " +
+				"reach a package-level state write: shard workers run " +
+				"concurrently on scheduler goroutines between barriers, so any " +
+				"global a worker (or anything it transitively calls) mutates is " +
+				"shared across shards and breaks the deterministic merge — the " +
+				"per-shard state vector is the only legal home for kernel-phase " +
+				"state; diagnostics print the call chain, same as SL010",
+			Applies: internalOnly,
+			Check:   checkShardWorker,
+		},
 	}
 }
 
@@ -499,9 +512,22 @@ func checkFastPath(p *Pass) {
 // hasFastPathDirective reports whether the file carries a
 // //simlint:fastpath comment (conventionally the first line).
 func hasFastPathDirective(f *ast.File) bool {
+	return hasFileDirective(f, "//simlint:fastpath")
+}
+
+// hasShardWorkerDirective reports whether the file carries a
+// //simlint:shardworker comment — the tag on files whose functions run
+// concurrently on shard worker goroutines (SL014).
+func hasShardWorkerDirective(f *ast.File) bool {
+	return hasFileDirective(f, "//simlint:shardworker")
+}
+
+// hasFileDirective reports whether any comment in the file is exactly
+// the given directive (conventionally the first line).
+func hasFileDirective(f *ast.File, directive string) bool {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if strings.TrimSpace(c.Text) == "//simlint:fastpath" {
+			if strings.TrimSpace(c.Text) == directive {
 				return true
 			}
 		}

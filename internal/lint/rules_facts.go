@@ -159,3 +159,43 @@ func checkFastPathReach(p *Pass) {
 		}
 	}
 }
+
+// --- SL014: shard-isolation ---------------------------------------------
+
+// checkShardWorker enforces state isolation on shard worker bodies:
+// functions declared in a //simlint:shardworker file run concurrently
+// on scheduler goroutines between barriers (the sharded machine
+// engine's kernel phase), so neither they nor anything they
+// transitively call may write package-level state — a global one shard
+// mutates is visible to every other shard, and the merge stops being a
+// pure reduction over per-shard state. Like SL010, each diagnostic
+// anchors at the offending write and prints the shortest call chain
+// from the worker function that reaches it.
+func checkShardWorker(p *Pass) {
+	shardFiles := make(map[string]bool)
+	for _, file := range p.Files {
+		if hasShardWorkerDirective(file) {
+			shardFiles[p.Fset.Position(file.Pos()).Filename] = true
+		}
+	}
+	if len(shardFiles) == 0 {
+		return
+	}
+	fe := p.runner.factsEngine()
+	for _, n := range fe.graph.nodes {
+		if n.pkg != p.Pkg || !shardFiles[p.Fset.Position(n.pos).Filename] {
+			continue
+		}
+		if n.summary&factWritesGlobal == 0 {
+			continue
+		}
+		for _, c := range fe.findChains(n, factWritesGlobal) {
+			key := "SL014|" + p.Fset.Position(c.source.pos).String() + "|" + c.source.desc
+			if !p.runner.reportOnce(key) {
+				continue
+			}
+			p.Reportf(c.source.pos, "%s reachable from shard worker %s: shards run this concurrently, so shared globals break the deterministic merge: %s",
+				factName(c.fact), n.name, c.chainString())
+		}
+	}
+}

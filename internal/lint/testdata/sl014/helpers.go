@@ -1,0 +1,21 @@
+// Helpers for the sl014 fixture: this file is untagged, so only SL014's
+// interprocedural reach — not any file-local rule — connects the shard
+// worker to the write.
+package sl014
+
+// rounds is the shared global the fixture's workers illegally touch.
+var rounds uint64
+
+type shard struct {
+	local uint64
+}
+
+// tally forwards one more hop before the write.
+func (s *shard) tally(v uint32) {
+	s.count(v)
+}
+
+// count performs the package-level write scatter reaches transitively.
+func (s *shard) count(v uint32) {
+	rounds += uint64(v)
+}

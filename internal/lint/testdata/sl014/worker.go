@@ -1,0 +1,25 @@
+//simlint:shardworker
+
+// Package sl014 seeds SL014 violations: shard worker functions that
+// reach package-level state writes the file-local rules cannot see.
+package sl014
+
+// scatter is one shard's kernel step: its own body only touches
+// shard-owned state, but a helper two hops away bumps a global.
+func (s *shard) scatter(v uint32) {
+	s.local += uint64(v)
+	s.tally(v)
+}
+
+// apply writes the global directly from the tagged file.
+func (s *shard) apply(v uint32) {
+	rounds++
+	_ = v
+}
+
+// drain stays on shard-owned state only: no diagnostic.
+func (s *shard) drain() uint64 {
+	out := s.local
+	s.local = 0
+	return out
+}

@@ -56,26 +56,16 @@ func (m *Machine) Fork(remapOwner func(memsys.Owner, *memsys.Memory) memsys.Owne
 		Mem:        mem,
 		Space:      space,
 		Kernel:     m.Kernel.Clone(mem, space),
-		TLB:        m.TLB.Clone(),
-		Cache:      m.Cache.Clone(),
 		Model:      m.Model,
 		cycles:     m.cycles,
 		simPT:      m.simPT,
 		noBulk:     m.noBulk,
 		noGather:   m.noGather,
-		trBase:     m.trBase,
-		trSpan:     m.trSpan,
-		trWide:     m.trWide,
-		trVictim:   m.trVictim,
 		nextEvent:  m.nextEvent,
 		tickers:    nil,
 		observers:  nil,
 		ev:         AccessEvent{}, // scratch buffer, refilled per notify
-		phase:      m.phase,
-		tlbAtPhase: m.tlbAtPhase,
-		cchAtPhase: m.cchAtPhase,
-		done:       append([]PhaseStats(nil), m.done...),
-		arrays:     append([]ArrayStats(nil), m.arrays...),
+		shardState: m.shardState.clone(),
 	}
 	// Translation-cache entries carry *VMA pointers into the original
 	// space; live entries are remapped to the cloned VMAs and empty

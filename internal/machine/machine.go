@@ -31,8 +31,6 @@
 package machine
 
 import (
-	"os"
-
 	"graphmem/internal/cache"
 	"graphmem/internal/cost"
 	"graphmem/internal/memsys"
@@ -83,12 +81,18 @@ type trEntry struct {
 }
 
 // Machine is one simulated host running one workload.
+//
+// The fields a sharded run must keep private per shard — the TLB and
+// cache hierarchies, the translation cache, and all phase/array
+// accounting — live in the embedded shardState vector (shardstate.go);
+// field promotion keeps every access site unchanged. The remaining
+// fields are either per-machine infrastructure that forks wholesale
+// (memory, address space, kernel) or configuration identical across
+// shards.
 type Machine struct {
 	Mem    *memsys.Memory
 	Space  *vm.AddressSpace
 	Kernel *oskernel.Kernel
-	TLB    *tlb.Hierarchy
-	Cache  *cache.Hierarchy
 	Model  cost.Model
 
 	cycles uint64
@@ -97,33 +101,13 @@ type Machine struct {
 	// noBulk forces AccessRun onto the per-access path (access_run.go).
 	// Bulk charging is cycle-identical by construction, so this exists
 	// only to prove it: the CI gate diffs a campaign run both ways. Set
-	// by the GRAPHMEM_NO_BULK environment variable or SetBulk.
+	// by SetBulk (core opens it via the GRAPHMEM_NO_BULK hatch).
 	noBulk bool
 
 	// noGather forces AccessGather onto the per-access path
 	// (access_gather.go). Like noBulk it exists to prove equivalence:
-	// set by the GRAPHMEM_NO_GATHER environment variable or SetGather.
+	// set by SetGather (core opens it via the GRAPHMEM_NO_GATHER hatch).
 	noGather bool
-
-	// Post-TLB translation cache: the primary entry is the page
-	// installed by the last translate/fault, keyed by
-	// [trBase, trBase+trSpan), and is the only entry the fast path
-	// compares against. A hit skips the radix walk in Space.Translate
-	// entirely; shootdown() clears every entry whenever any mapping
-	// changes. trSpan == 0 means empty (the unsigned compare
-	// va-trBase >= trSpan then always misses).
-	//
-	// trWide is a small VA-tagged victim array behind the primary
-	// entry, probed only on a primary miss (access_slow.go). It keeps
-	// recently used pages resolvable without a radix walk when an
-	// irregular gather alternates between a handful of pages. The cache
-	// is functional-only — Translate charges no cycles — so widening it
-	// changes no modeled cost, only simulator speed (MODEL.md §1).
-	tr       vm.Translation
-	trBase   uint64
-	trSpan   uint64
-	trWide   [trCacheWays]trEntry
-	trVictim int
 
 	// Event layer state (events.go): the earliest cycle at which any
 	// background actor is due. The fast path compares cycles against
@@ -135,12 +119,7 @@ type Machine struct {
 	observers []Observer
 	ev        AccessEvent // reused per-notify to keep dispatch alloc-free
 
-	phase      PhaseStats
-	tlbAtPhase tlb.Stats
-	cchAtPhase cache.Stats
-	done       []PhaseStats
-
-	arrays []ArrayStats
+	shardState
 }
 
 // New builds a machine.
@@ -149,15 +128,15 @@ func New(cfg Config) *Machine {
 	space := vm.NewAddressSpace(mem)
 	space.SimPageTables = cfg.SimulatePageTables
 	m := &Machine{
-		simPT:    cfg.SimulatePageTables,
-		noBulk:   os.Getenv("GRAPHMEM_NO_BULK") != "",
-		noGather: os.Getenv("GRAPHMEM_NO_GATHER") != "",
-		Mem:      mem,
-		Space:    space,
-		Kernel:   oskernel.New(cfg.Kernel, space, cfg.Cost),
-		TLB:      tlb.New(cfg.TLB),
-		Cache:    cache.New(cfg.Cache),
-		Model:    cfg.Cost,
+		simPT:  cfg.SimulatePageTables,
+		Mem:    mem,
+		Space:  space,
+		Kernel: oskernel.New(cfg.Kernel, space, cfg.Cost),
+		Model:  cfg.Cost,
+		shardState: shardState{
+			TLB:   tlb.New(cfg.TLB),
+			Cache: cache.New(cfg.Cache),
+		},
 	}
 	space.Shootdown = m.shootdown
 	m.phase = PhaseStats{Name: "boot"}

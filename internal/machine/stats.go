@@ -37,6 +37,23 @@ type PhaseStats struct {
 	Cache cache.Stats
 }
 
+// Add returns the field-wise sum p + o, keeping p's Name. The sharded
+// machine engine merges per-shard kernel phases with it; note the
+// merged phase's Cycles is then set to the barrier makespan by the
+// caller, not this sum (core, DESIGN.md §5c).
+func (p PhaseStats) Add(o PhaseStats) PhaseStats {
+	return PhaseStats{
+		Name:              p.Name,
+		Cycles:            p.Cycles + o.Cycles,
+		Accesses:          p.Accesses + o.Accesses,
+		DataCycles:        p.DataCycles + o.DataCycles,
+		TranslationCycles: p.TranslationCycles + o.TranslationCycles,
+		FaultCycles:       p.FaultCycles + o.FaultCycles,
+		TLB:               p.TLB.Add(o.TLB),
+		Cache:             p.Cache.Add(o.Cache),
+	}
+}
+
 // TranslationShare is the fraction of phase cycles spent translating
 // (the paper's Fig. 2 metric, extended with fault time excluded).
 func (p PhaseStats) TranslationShare() float64 {

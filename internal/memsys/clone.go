@@ -7,17 +7,23 @@ import "graphmem/internal/check"
 // clone shares nothing mutable with the original, so allocations,
 // compaction, and reclaim on one are invisible to the other.
 //
-// Frame metadata embeds Owner callbacks pointing at the mapping
-// structures of the ORIGINAL machine (address spaces, page caches,
-// workload hogs). Leaving those in place would make compaction and
-// reclaim on the clone mutate the original's page tables — the classic
-// fork-aliasing bug. The caller therefore supplies remap, which must
-// translate every distinct owner it ever registered to that owner's
-// counterpart in the forked machine; remap receives the clone under
-// construction, since replacement owners are typically bound to it. Clone panics if remap returns nil
-// for a live owner: an owner the fork layer cannot account for means
-// the snapshot is incomplete, and a loud failure beats silent
-// cross-fork corruption.
+// Frame metadata refers to owners (address spaces, page caches,
+// workload hogs) through the interned owner table, and those owners
+// belong to the ORIGINAL machine. Leaving the table in place would make
+// compaction and reclaim on the clone mutate the original's page tables
+// — the classic fork-aliasing bug. The caller therefore supplies remap,
+// which must translate every distinct owner it ever registered to that
+// owner's counterpart in the forked machine; remap receives the clone
+// under construction, since replacement owners are typically bound to
+// it. Clone panics if remap returns nil for a table entry: an owner the
+// fork layer cannot account for means the snapshot is incomplete, and a
+// loud failure beats silent cross-fork corruption.
+//
+// Because frames hold only the small interned handle (see ownerRef),
+// the frame array copies as one flat pointer-free memmove and remap
+// runs once per distinct owner, not once per frame — this is the hot
+// half of a fork, and shard bring-up clones the prepared machine once
+// per extra shard.
 func (m *Memory) Clone(remap func(old Owner, clone *Memory) Owner) *Memory {
 	c := &Memory{
 		nframes:     m.nframes,
@@ -26,6 +32,7 @@ func (m *Memory) Clone(remap func(old Owner, clone *Memory) Owner) *Memory {
 		hint:        m.hint,
 		freePages:   m.freePages,
 		allocByType: m.allocByType,
+		owners:      append([]Owner(nil), m.owners...),
 		stats:       m.stats,
 	}
 	for o := range m.freeBits {
@@ -34,16 +41,12 @@ func (m *Memory) Clone(remap func(old Owner, clone *Memory) Owner) *Memory {
 	for qi := range m.reclaimQ {
 		c.reclaimQ[qi] = m.reclaimQ[qi].clone()
 	}
-	for i := range c.frames {
-		old := c.frames[i].owner
-		if old == nil {
-			continue
-		}
-		nw := remap(old, c)
+	for i := 1; i < len(c.owners); i++ {
+		nw := remap(c.owners[i], c)
 		if nw == nil {
-			panic(check.Failf("memsys: Clone remap returned nil for owner of frame %d (%T): snapshot incomplete", i, old))
+			panic(check.Failf("memsys: Clone remap returned nil for owner %d (%T): snapshot incomplete", i, c.owners[i]))
 		}
-		c.frames[i].owner = nw
+		c.owners[i] = nw
 	}
 	return c
 }

@@ -84,6 +84,16 @@ type Owner interface {
 	FrameReclaimed(f Frame, cookie uint64) bool
 }
 
+// ownerRef is an index into Memory.owners; ref 0 is the nil owner. A
+// node hosts a handful of distinct owners (one address space, a memhog,
+// perhaps a page cache) spread across millions of frames, so frames
+// store this small interned handle instead of the two-word interface.
+// That keeps frameInfo pointer-free, which is what makes Clone a flat
+// memmove (no per-frame GC write barriers) with owner remapping done
+// once per table entry instead of once per frame — the property the
+// sharded engine's fork-per-shard bring-up depends on.
+type ownerRef uint16
+
 // frameInfo is the per-frame metadata word.
 type frameInfo struct {
 	allocated bool
@@ -92,7 +102,7 @@ type frameInfo struct {
 	// order>=HugeOrder blocks: a huge page moves or dies as a unit.
 	blockOrder uint8
 	mtype      MigrateType
-	owner      Owner
+	owner      ownerRef
 	cookie     uint64
 }
 
@@ -136,6 +146,13 @@ type Memory struct {
 	// alloc/free/compaction/reclaim).
 	allocByType [4]uint64
 
+	// owners interns every distinct Owner ever registered; entry 0 is
+	// nil. frameInfo.owner indexes this table (see ownerRef). The table
+	// never shrinks — an owner that freed all its frames keeps its slot
+	// — which is fine: a machine sees only a few distinct owners over
+	// its whole life.
+	owners []Owner
+
 	stats Stats
 }
 
@@ -164,6 +181,37 @@ func (q *frameQueue) pop() (Frame, bool) {
 }
 
 func (q *frameQueue) len() int { return len(q.items) - q.head }
+
+// ownerRefFor interns an owner, returning its table index. The table
+// stays tiny (an address space, a memhog, a page cache…), so a linear
+// scan with two-word interface compares beats any map — and allocates
+// nothing once the owner is known.
+func (m *Memory) ownerRefFor(o Owner) ownerRef {
+	if o == nil {
+		return 0
+	}
+	for i := 1; i < len(m.owners); i++ {
+		if m.owners[i] == o {
+			return ownerRef(i)
+		}
+	}
+	if len(m.owners) == 0 {
+		m.owners = append(m.owners, nil)
+	}
+	if len(m.owners) > int(^uint16(0)) {
+		panic(check.Failf("memsys: more than %d distinct frame owners", ^uint16(0)))
+	}
+	m.owners = append(m.owners, o)
+	return ownerRef(len(m.owners) - 1)
+}
+
+// ownerAt resolves an interned owner handle; ref 0 is nil.
+func (m *Memory) ownerAt(r ownerRef) Owner {
+	if r == 0 {
+		return nil
+	}
+	return m.owners[r]
+}
 
 // queueIndexFor returns which reclaim queue (if any) a frame with the
 // given type/owner belongs to.
@@ -286,12 +334,13 @@ func (m *Memory) Alloc(order int, mtype MigrateType, owner Owner, cookie uint64)
 		return NoFrame
 	}
 	npages := Frame(1) << order
+	ref := m.ownerRefFor(owner)
 	for i := Frame(0); i < npages; i++ {
 		fi := &m.frames[f+i]
 		fi.allocated = true
 		fi.blockOrder = uint8(order)
 		fi.mtype = mtype
-		fi.owner = owner
+		fi.owner = ref
 		fi.cookie = cookie
 	}
 	if order < HugeOrder {
@@ -344,12 +393,13 @@ func (m *Memory) AllocAt(f Frame, order int, mtype MigrateType, owner Owner, coo
 		}
 	}
 	npages := Frame(1) << order
+	ref := m.ownerRefFor(owner)
 	for i := Frame(0); i < npages; i++ {
 		fi := &m.frames[f+i]
 		fi.allocated = true
 		fi.blockOrder = uint8(order)
 		fi.mtype = mtype
-		fi.owner = owner
+		fi.owner = ref
 		fi.cookie = cookie
 	}
 	if order < HugeOrder {
@@ -444,7 +494,7 @@ func (m *Memory) SetOwner(f Frame, owner Owner, cookie uint64) {
 	if !fi.allocated {
 		panic(check.Failf("memsys: SetOwner on free frame"))
 	}
-	fi.owner = owner
+	fi.owner = m.ownerRefFor(owner)
 	fi.cookie = cookie
 	// Huge-block head frames are enqueued too: when reclaim selects
 	// one, the owner responds by demoting the mapping (Linux's
@@ -591,10 +641,11 @@ func (m *Memory) evacuateRegion(base Frame) (migrated int, ok bool) {
 		d.mtype = fi.mtype
 		d.owner = fi.owner
 		d.cookie = fi.cookie
-		m.enqueueReclaim(dst, d.mtype, d.owner)
+		owner := m.ownerAt(d.owner)
+		m.enqueueReclaim(dst, d.mtype, owner)
 		m.freePages-- // dst leaves the free pool
-		if fi.owner != nil {
-			fi.owner.FrameMoved(f, dst, fi.cookie)
+		if owner != nil {
+			owner.FrameMoved(f, dst, fi.cookie)
 		}
 		m.allocByType[fi.mtype]--
 		m.allocByType[d.mtype]++
@@ -712,10 +763,10 @@ func (m *Memory) reclaimPass(mt MigrateType, want int) int {
 			break
 		}
 		fi := &m.frames[f]
-		if !fi.allocated || fi.mtype != mt || fi.owner == nil {
+		if !fi.allocated || fi.mtype != mt || fi.owner == 0 {
 			continue // stale entry
 		}
-		if !fi.owner.FrameReclaimed(f, fi.cookie) {
+		if !m.ownerAt(fi.owner).FrameReclaimed(f, fi.cookie) {
 			// Vetoed outright, or a huge mapping that the owner
 			// demoted in place (its constituents are now queued):
 			// rotate to the back like an inactive-list page.

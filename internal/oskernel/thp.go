@@ -62,6 +62,46 @@ type Stats struct {
 	KhugepagedCycles uint64
 }
 
+// Add returns the field-wise sum s + o. The sharded machine engine
+// merges per-shard kernel stats with it (core), so it must cover every
+// counter.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Faults4K:         s.Faults4K + o.Faults4K,
+		FaultsHuge:       s.FaultsHuge + o.FaultsHuge,
+		HugeFallbacks:    s.HugeFallbacks + o.HugeFallbacks,
+		CompactionRuns:   s.CompactionRuns + o.CompactionRuns,
+		PagesMigrated:    s.PagesMigrated + o.PagesMigrated,
+		PagesDropped:     s.PagesDropped + o.PagesDropped,
+		SwapIns:          s.SwapIns + o.SwapIns,
+		SwapOuts:         s.SwapOuts + o.SwapOuts,
+		Promotions:       s.Promotions + o.Promotions,
+		Demotions:        s.Demotions + o.Demotions,
+		FaultCycles:      s.FaultCycles + o.FaultCycles,
+		KhugepagedCycles: s.KhugepagedCycles + o.KhugepagedCycles,
+	}
+}
+
+// Sub returns the field-wise difference s − o, for subtracting the
+// pre-fork baseline each shard machine inherited (every shard carries
+// the load phase's counters; summing S shards counts them S times).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Faults4K:         s.Faults4K - o.Faults4K,
+		FaultsHuge:       s.FaultsHuge - o.FaultsHuge,
+		HugeFallbacks:    s.HugeFallbacks - o.HugeFallbacks,
+		CompactionRuns:   s.CompactionRuns - o.CompactionRuns,
+		PagesMigrated:    s.PagesMigrated - o.PagesMigrated,
+		PagesDropped:     s.PagesDropped - o.PagesDropped,
+		SwapIns:          s.SwapIns - o.SwapIns,
+		SwapOuts:         s.SwapOuts - o.SwapOuts,
+		Promotions:       s.Promotions - o.Promotions,
+		Demotions:        s.Demotions - o.Demotions,
+		FaultCycles:      s.FaultCycles - o.FaultCycles,
+		KhugepagedCycles: s.KhugepagedCycles - o.KhugepagedCycles,
+	}
+}
+
 // DefragMode mirrors /sys/kernel/mm/transparent_hugepage/defrag: how
 // hard a page fault may work (direct compaction + reclaim) to produce a
 // huge page when no free 2MB block exists.

@@ -163,6 +163,42 @@ func Apply(g *graph.Graph, m Method, seed uint64) (*graph.Graph, Cost) {
 	return ng, c
 }
 
+// Partition splits g's vertex range into s contiguous windows balanced
+// by scatter work (1 + out-degree per vertex: every vertex is popped
+// once per appearance on a worklist and then scans its out-edges), for
+// the sharded machine engine's owner-computes decomposition. It returns
+// s+1 ascending cuts — shard i owns vertices [cuts[i], cuts[i+1]) —
+// plus the preprocessing cost of the single degree scan that sized the
+// windows. Cuts are a pure function of the graph and s: deterministic,
+// seed-free. Shards beyond the vertex count come out empty (cuts
+// repeat g.N), so any s is valid on any graph; s ≤ 1 yields the
+// trivial one-window partition.
+func Partition(g *graph.Graph, s int) ([]uint32, Cost) {
+	if s < 1 {
+		s = 1
+	}
+	cuts := make([]uint32, s+1)
+	total := uint64(g.N) + uint64(g.NumEdges())
+	var acc uint64
+	sh := 1
+	for v := 0; v < g.N && sh < s; v++ {
+		acc += 1 + uint64(g.OutDegree(uint32(v)))
+		// Cut after v once this shard holds its fair share of the
+		// remaining work (ceil division keeps later shards from
+		// starving on skewed prefixes).
+		// (a whale vertex can satisfy several boundaries at once,
+		// leaving the windows between them empty).
+		for sh < s && acc*uint64(s) >= total*uint64(sh) {
+			cuts[sh] = uint32(v + 1)
+			sh++
+		}
+	}
+	for ; sh <= s; sh++ {
+		cuts[sh] = uint32(g.N)
+	}
+	return cuts, Cost{VertexTraversals: g.N}
+}
+
 // HotPrefixCoverage reports what fraction of all property-array accesses
 // (in-edges) target the first `frac` of vertex IDs — the quantity that
 // determines how much of the TLB-miss mass a selective huge page prefix

@@ -222,3 +222,76 @@ func TestQuickDBGPermutationValid(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPartitionContract: cuts are monotone, start at 0, end at N, have
+// exactly s+1 entries, and are a pure function of (graph, s).
+func TestPartitionContract(t *testing.T) {
+	g := testGraph(t)
+	for _, s := range []int{1, 2, 4, 8, 64} {
+		cuts, c := Partition(g, s)
+		if len(cuts) != s+1 {
+			t.Fatalf("s=%d: %d cuts, want %d", s, len(cuts), s+1)
+		}
+		if cuts[0] != 0 || int(cuts[s]) != g.N {
+			t.Fatalf("s=%d: cuts span [%d,%d], want [0,%d]", s, cuts[0], cuts[s], g.N)
+		}
+		for i := 0; i < s; i++ {
+			if cuts[i+1] < cuts[i] {
+				t.Fatalf("s=%d: cuts not monotone at %d: %v", s, i, cuts)
+			}
+		}
+		if c.VertexTraversals != g.N || c.EdgeTraversals != 0 {
+			t.Fatalf("s=%d: cost %+v, want one vertex scan", s, c)
+		}
+		again, _ := Partition(g, s)
+		if !reflect.DeepEqual(cuts, again) {
+			t.Fatalf("s=%d: Partition is not deterministic", s)
+		}
+	}
+}
+
+// TestPartitionBalance: on the standard test graph no shard's work
+// share (1 + out-degree per vertex) may exceed twice the fair share —
+// the owner-computes scatter load the cuts are sized for.
+func TestPartitionBalance(t *testing.T) {
+	g := testGraph(t)
+	const s = 4
+	cuts, _ := Partition(g, s)
+	total := uint64(g.N + g.NumEdges())
+	for sh := 0; sh < s; sh++ {
+		var work uint64
+		for v := cuts[sh]; v < cuts[sh+1]; v++ {
+			work += 1 + uint64(g.OutDegree(v))
+		}
+		if work > 2*total/s {
+			t.Fatalf("shard %d holds %d of %d work units (> 2x fair share)", sh, work, total)
+		}
+	}
+}
+
+// TestPartitionSmall: shard counts at and beyond the vertex count are
+// valid — trailing shards come out empty — and s<=1 is the trivial
+// one-window partition.
+func TestPartitionSmall(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, _ := Partition(g, 8)
+	if len(cuts) != 9 || cuts[0] != 0 || cuts[8] != 3 {
+		t.Fatalf("8-way cuts over 3 vertices: %v", cuts)
+	}
+	covered := 0
+	for i := 0; i < 8; i++ {
+		covered += int(cuts[i+1] - cuts[i])
+	}
+	if covered != 3 {
+		t.Fatalf("windows cover %d vertices, want 3", covered)
+	}
+	if cuts, _ := Partition(g, 1); !reflect.DeepEqual(cuts, []uint32{0, 3}) {
+		t.Fatalf("1-way cuts: %v", cuts)
+	}
+	if cuts, _ := Partition(g, 0); !reflect.DeepEqual(cuts, []uint32{0, 3}) {
+		t.Fatalf("0-way cuts: %v", cuts)
+	}
+}

@@ -98,6 +98,19 @@ func (p *Pool) Go(fn func(worker int)) {
 	p.mu.Unlock()
 }
 
+// RunN submits fn(0) … fn(n-1) as n tasks and waits for all of them —
+// one bulk-synchronous step, the shape of the sharded machine engine's
+// phase barriers (core). fn receives the task index i, not the worker
+// index: which worker runs which task is scheduling state and must not
+// leak into simulation.
+func (p *Pool) RunN(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		i := i
+		p.Go(func(int) { fn(i) })
+	}
+	p.Wait()
+}
+
 // Wait blocks until every task submitted so far has completed, then
 // audits the pool's conservation invariants (under -tags simcheck). The
 // pool remains usable for further submissions.

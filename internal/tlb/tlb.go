@@ -227,6 +227,17 @@ type Stats struct {
 	WalkCycles uint64
 }
 
+// Add returns the field-wise sum s + o (the sharded machine engine's
+// per-shard merge).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Lookups:    s.Lookups + o.Lookups,
+		L1Misses:   s.L1Misses + o.L1Misses,
+		STLBMisses: s.STLBMisses + o.STLBMisses,
+		WalkCycles: s.WalkCycles + o.WalkCycles,
+	}
+}
+
 // DTLBMissRate is L1 misses ÷ lookups.
 func (s Stats) DTLBMissRate() float64 {
 	if s.Lookups == 0 {

@@ -8,9 +8,11 @@
 # (BenchmarkAccessGather vs BenchmarkAccessGatherScalar: the same
 # irregular neighbor-gather-shaped stream through AccessGather and
 # through per-element Access), the end-to-end headline experiment
-# benchmark, a timed bench-scale campaign subset, and the snapshot-layer
+# benchmark, a timed bench-scale campaign subset, the snapshot-layer
 # wall-clock pair (the same rollout-bearing subset with checkpoint
-# forking on vs GRAPHMEM_NO_SNAPSHOT=1), then merges the
+# forking on vs GRAPHMEM_NO_SNAPSHOT=1), and the sharded-engine
+# single-run pair (TestShardBringupSpeedup: the kr25 ext-shard cell
+# with fork bring-up vs GRAPHMEM_NO_SHARD=1 replay), then merges the
 # figures into BENCH_access.json via cmd/benchjson — updated keys
 # change in place, keys this script does not know about survive — so
 # subsequent PRs have a recorded baseline to compare against.
@@ -77,9 +79,25 @@ snap_wall=$(( $(date +%s) - snap_start ))
 nosnap_start=$(date +%s)
 GRAPHMEM_NO_SNAPSHOT=1 "$bin" -scale bench -exp fig5,pagecache,ext-rollout -j 1 >/dev/null
 nosnap_wall=$(( $(date +%s) - nosnap_start ))
-rm -f "$bin"
 speedup=$(awk "BEGIN { printf \"%.2f\", $nosnap_wall / ($snap_wall > 0 ? $snap_wall : 1) }")
 echo "snapshot on: ${snap_wall}s, off: ${nosnap_wall}s (speedup ${speedup}x)" >&2
+
+rm -f "$bin"
+
+echo "== sharded-engine single-run wall-clock (bench scale, kr25 ext-shard cell)" >&2
+gate=$(GRAPHMEM_SPEEDUP_GATE=1 go test -run '^TestShardBringupSpeedup$' \
+    -count=1 -v ./internal/exp)
+echo "$gate" >&2
+shard_line=$(echo "$gate" | grep shard_bringup)
+fork_ms=$(echo "$shard_line" | sed 's/.*fork_ms=\([0-9]*\).*/\1/')
+replay_ms=$(echo "$shard_line" | sed 's/.*replay_ms=\([0-9]*\).*/\1/')
+shard_speedup=$(echo "$shard_line" | sed 's/.*speedup=\([0-9.]*\).*/\1/')
+if [ -z "$fork_ms" ] || [ -z "$replay_ms" ] || [ -z "$shard_speedup" ]; then
+    echo "bench.sh: could not parse TestShardBringupSpeedup output" >&2
+    exit 1
+fi
+shard_wall=$(awk "BEGIN { printf \"%.2f\", $fork_ms / 1000 }")
+noshard_wall=$(awk "BEGIN { printf \"%.2f\", $replay_ms / 1000 }")
 
 go run ./cmd/benchjson -file "$out" \
     "microbenchmark=BenchmarkAccess (internal/machine, steady-state fast path)" \
@@ -100,6 +118,10 @@ go run ./cmd/benchjson -file "$out" \
     "snapshot_campaign=expdriver -scale bench -exp fig5,pagecache,ext-rollout -j 1, forking vs GRAPHMEM_NO_SNAPSHOT=1" \
     "campaign_snapshot_wall_seconds=$snap_wall" \
     "campaign_nosnapshot_wall_seconds=$nosnap_wall" \
-    "campaign_snapshot_speedup=$speedup"
+    "campaign_snapshot_speedup=$speedup" \
+    "shard_single_run=TestShardBringupSpeedup (core.Run of the bench-scale kr25 ext-shard cell at 4 shard workers, fork bring-up vs GRAPHMEM_NO_SHARD=1 replay, min of 3)" \
+    "run_shard_wall_seconds=$shard_wall" \
+    "run_noshard_wall_seconds=$noshard_wall" \
+    "run_shard_speedup=$shard_speedup"
 echo "wrote $out" >&2
 cat "$out"

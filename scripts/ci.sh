@@ -3,7 +3,7 @@
 #
 #   1. gofmt            formatting drift
 #   2. go vet           stdlib static checks
-#   3. simlint          project determinism rules (SL001..SL013),
+#   3. simlint          project determinism rules (SL001..SL014),
 #                       timed: the interprocedural facts engine must
 #                       keep the full-module sweep under 60s
 #   4. go build         both build-tag variants compile
@@ -34,7 +34,15 @@
 #                       (GRAPHMEM_NO_SNAPSHOT=1) must be byte-identical
 #                       to the forking run at -j 1 and -j 4, and forking
 #                       must cut the subset's wall-clock by >= 2x
-#  12. docsplice -check
+#  12. sharded-engine equivalence
+#                       the ext-shard campaign with fork bring-up
+#                       disabled (GRAPHMEM_NO_SHARD=1, every extra shard
+#                       replays its load phase) must be byte-identical
+#                       to the forking run across -shards and -j worker
+#                       counts, and fork bring-up must cut single-run
+#                       wall-clock by >= 2x (TestShardBringupSpeedup,
+#                       in-process paired timing)
+#  13. docsplice -check
 #                       EXPERIMENTS.md's measured blocks match results/
 #
 # Run from the repository root: ./scripts/ci.sh
@@ -137,6 +145,30 @@ if [ "$nosnap_elapsed" -lt $(( 2 * snap_elapsed )) ]; then
     echo "snapshot layer speedup below 2x (on=${snap_elapsed}s off=${nosnap_elapsed}s): forks are not amortizing the load phase" >&2
     exit 1
 fi
+
+echo "== sharded-engine equivalence: GRAPHMEM_NO_SHARD=1 vs fork bring-up"
+# ext-shard is the sharded-engine experiment: every cell runs its kernel
+# phase as 16 owner-computes shards on a big-memory staged node, so the
+# fork-vs-replay margin the hatch controls is first-order. -shards (the
+# worker knob) and -j (the campaign knob) are both varied to prove
+# neither changes a byte of output.
+mkdir -p "$tmp/csvh1" "$tmp/csvh4" "$tmp/csvnh"
+"$tmp/expdriver" -scale bench -exp ext-shard -shards 4 -j 1 \
+    -out "$tmp/outh1.md" -csv "$tmp/csvh1" > "$tmp/stdouth1.txt"
+"$tmp/expdriver" -scale bench -exp ext-shard -shards 2 -j 4 \
+    -out "$tmp/outh4.md" -csv "$tmp/csvh4" > "$tmp/stdouth4.txt"
+diff "$tmp/stdouth1.txt" "$tmp/stdouth4.txt"
+diff "$tmp/outh1.md" "$tmp/outh4.md"
+diff -r "$tmp/csvh1" "$tmp/csvh4"
+GRAPHMEM_NO_SHARD=1 "$tmp/expdriver" -scale bench -exp ext-shard -shards 4 -j 1 \
+    -out "$tmp/outnh.md" -csv "$tmp/csvnh" > "$tmp/stdoutnh.txt"
+diff "$tmp/stdouth1.txt" "$tmp/stdoutnh.txt"
+diff "$tmp/outh1.md" "$tmp/outnh.md"
+diff -r "$tmp/csvh1" "$tmp/csvnh"
+# The speedup gate times a single run in-process (min-of-3 per side):
+# a whole-campaign subprocess wall-clock would fold dataset generation
+# and sibling cells into both sides and drown the margin in host noise.
+GRAPHMEM_SPEEDUP_GATE=1 go test -run '^TestShardBringupSpeedup$' -count=1 -v ./internal/exp
 
 echo "== docsplice -check (EXPERIMENTS.md in sync with results/)"
 go run ./cmd/docsplice -doc EXPERIMENTS.md -results results/expdriver_full.txt -check
