@@ -51,6 +51,7 @@ func main() {
 	shardWorkers := flag.Int("shards", 0, "worker goroutines per sharded cell (0 = all CPUs); execution-only, output is identical for every value")
 	verbose := flag.Bool("v", false, "log per-worker progress for each simulation cell")
 	listOnly := flag.Bool("list", false, "list experiments and exit")
+	footprint := flag.Bool("footprint", false, "stage the ext-fullscale cell at the chosen scale, print the simulator footprint report, and exit")
 	priters := flag.Int("pr-iters", 3, "PageRank iteration cap")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -123,6 +124,23 @@ func main() {
 	}
 	s := exp.NewSuite(sc, log)
 	s.PRMaxIters = *priters
+
+	if *footprint {
+		fp, ok := s.FullscaleFootprint()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "expdriver: no resident machine to introspect (GRAPHMEM_NO_SNAPSHOT set?)")
+			os.Exit(1)
+		}
+		fmt.Print(fp.Table().String())
+		fmt.Printf("\nfootprint_total_bytes=%d legacy_bytes=%d reduction=%.3f bytes_per_sim_gb=%.0f\n",
+			fp.TotalBytes(), fp.LegacyBytes(), fp.Reduction(), fp.BytesPerSimGB())
+		var ms runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		fmt.Fprintf(os.Stderr, "host heap: %.2f MiB in use, %.2f MiB from OS\n",
+			float64(ms.HeapInuse)/(1<<20), float64(ms.Sys)/(1<<20))
+		return
+	}
 
 	var ids []string
 	if *expIDs != "" {

@@ -246,3 +246,17 @@ func (h *Hierarchy) Access(pa uint64) AccessLevel {
 	h.stats.LLCMiss++
 	return HitDRAM
 }
+
+// FootprintBytes reports the simulator-side bytes backing the cache
+// hierarchy's tag and LRU arrays, for the stats.Footprint report. The
+// representation predates the frame-metadata compaction and is
+// unchanged by it.
+func (h *Hierarchy) FootprintBytes() uint64 {
+	var b uint64
+	for _, l := range []*level{h.l1, h.llc} {
+		if l != nil {
+			b += uint64(len(l.tags))*8 + uint64(len(l.stamp))*4
+		}
+	}
+	return b
+}

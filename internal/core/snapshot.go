@@ -6,6 +6,7 @@ import (
 	"graphmem/internal/analytics"
 	"graphmem/internal/machine"
 	"graphmem/internal/memsys"
+	"graphmem/internal/stats"
 	"graphmem/internal/workload"
 )
 
@@ -144,4 +145,15 @@ func (cp *Checkpoint) Run() (*RunResult, error) {
 		return nil, err
 	}
 	return cp.pre.finish(fm, img), nil
+}
+
+// Footprint reports the frozen machine's simulator-side memory
+// breakdown (stats.Footprint). It returns false when snapshotting is
+// disabled — there is no resident machine to introspect until a fork
+// replays the load phase.
+func (cp *Checkpoint) Footprint() (stats.Footprint, bool) {
+	if cp.pre == nil {
+		return stats.Footprint{}, false
+	}
+	return cp.pre.m.Footprint(), true
 }

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+
+	"graphmem/internal/analytics"
+	"graphmem/internal/core"
+	"graphmem/internal/gen"
+	"graphmem/internal/reorder"
+	"graphmem/internal/stats"
+)
+
+// The ext-fullscale experiment stages one cell at the paper's node
+// geometry: a ≥100 GB physical node with memhog pinning everything
+// beyond WSS+Δ, the kernel phase sharded. Where ext-shard studies
+// modeled intra-run scaling across all datasets on a mid-size node,
+// ext-fullscale exists to prove the simulator itself survives true
+// scale — tens of millions of frames of metadata, a terabyte-order
+// address-space budget — which is exactly what the compact frame
+// metadata and sparse VM chunking pay for. The table reports the
+// modeled kernel numbers plus the stats.Footprint totals of the staged
+// machine; the env-gated CI test (GRAPHMEM_FULLSCALE=1) asserts the
+// wall-clock, RSS, and ≥2× footprint-reduction budgets on top.
+
+// fullscaleShards is the shard count of the fullscale cell. Eight keeps
+// shard forks of a paper-geometry node within a few GB of host RSS
+// while still exercising the sharded bring-up path at scale.
+const fullscaleShards = 8
+
+// fullscaleNodeBytes is the modeled node memory of the ext-fullscale
+// cell: the paper's evaluation machine holds hundreds of GB, so the
+// full-scale cell stages 128 GB. The bench and test scales shrink it so
+// the experiment stays cheap enough for routine campaigns while running
+// the same staging code.
+func (s *Suite) fullscaleNodeBytes() uint64 {
+	switch s.Scale {
+	case gen.ScaleFull:
+		return 128 << 30
+	case gen.ScaleBench:
+		return 2 << 30
+	default:
+		return 128 << 20
+	}
+}
+
+// fullscaleCfg names the single ext-fullscale cell: pressured BFS on
+// the paper-geometry node with the kernel phase sharded.
+func (s *Suite) fullscaleCfg() runCfg {
+	env := s.envPressured(analytics.BFS, gen.Kron25, highPressureGB)
+	env.MemoryBytes = s.fullscaleNodeBytes()
+	return runCfg{
+		app: analytics.BFS, ds: gen.Kron25, method: reorder.Identity,
+		order: analytics.Natural, policy: core.THPAlways(),
+		env:    env,
+		shards: fullscaleShards,
+	}
+}
+
+func (s *Suite) fullscaleCells() []runCfg {
+	return []runCfg{s.fullscaleCfg()}
+}
+
+// FullscaleFootprint stages (or recalls) the fullscale cell's load
+// phase and returns the frozen machine's simulator-footprint report.
+// ok is false when GRAPHMEM_NO_SNAPSHOT is set — there is no resident
+// machine to introspect then.
+func (s *Suite) FullscaleFootprint() (stats.Footprint, bool) {
+	c := s.fullscaleCfg()
+	if !core.SnapshotSafe(s.spec(c)) || core.SnapshotsDisabled() {
+		return stats.Footprint{}, false
+	}
+	return s.checkpoint(c.initKey(), s.spec(c)).Footprint()
+}
+
+// Fullscale renders the paper-geometry cell: node geometry and modeled
+// kernel numbers, then the staged machine's per-subsystem simulator
+// footprint. Footprint bytes are a pure function of the staged machine
+// state, so the table is as byte-stable across worker counts as every
+// other experiment's.
+func (s *Suite) Fullscale() []*stats.Table {
+	c := s.fullscaleCfg()
+	r := s.run(c)
+	t := stats.NewTable(
+		fmt.Sprintf("Extension: paper-geometry node (%d MB staged, %d-shard BFS kernel)",
+			s.fullscaleNodeBytes()>>20, fullscaleShards),
+		"dataset", "node-mb", "shards", "makespan", "serial-sum", "scale-x")
+	var sum uint64
+	for _, kc := range r.ShardKernelCycles {
+		sum += kc
+	}
+	t.AddRow(string(gen.Kron25),
+		fmt.Sprint(s.fullscaleNodeBytes()>>20),
+		fmt.Sprint(fullscaleShards),
+		fmt.Sprint(r.KernelCycles),
+		fmt.Sprint(sum),
+		stats.F(float64(sum)/float64(r.KernelCycles), 3))
+
+	tables := []*stats.Table{t}
+	if fp, ok := s.FullscaleFootprint(); ok {
+		tables = append(tables, fp.Table())
+	}
+	return tables
+}

@@ -56,6 +56,7 @@ var Registry = []Experiment{
 	{"ext-grid", "control", "road-network negative control", (*Suite).GridControl, nil},
 	{"ext-rollout", "§7 future work", "online policy rollout via checkpoint forks", (*Suite).Rollout, nil},
 	{"ext-shard", "§6 scaling", "sharded machine engine: modeled intra-run scaling", (*Suite).ShardScaling, (*Suite).shardCells},
+	{"ext-fullscale", "§4 geometry", "paper-geometry staged node: footprint & sharded kernel at true scale", (*Suite).Fullscale, (*Suite).fullscaleCells},
 }
 
 // Find returns the experiment with the given id.

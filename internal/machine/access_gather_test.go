@@ -90,9 +90,7 @@ func replayGatherDiff(dc diffConfig, ops []gatherOp, gather bool) diffSnapshot {
 		Cache:  m.Cache.Stats(),
 	}
 	for _, v := range vmas {
-		heat := make([]uint64, len(v.Heat))
-		copy(heat, v.Heat)
-		snap.Heat = append(snap.Heat, heat)
+		snap.Heat = append(snap.Heat, v.HeatCopy())
 	}
 	return snap
 }

@@ -168,7 +168,7 @@ func (m *Machine) flushBulk(done, data uint64) {
 	tr := &m.tr
 	m.TLB.LookupRepeatHit(tr.BaseVA, tr.Size, done)
 	v := tr.VMA
-	v.Heat[(tr.BaseVA-v.Base)>>21] += done
+	v.AddHeat(int((tr.BaseVA-v.Base)>>21), done)
 	if tag := v.StatsTag; tag >= 0 {
 		m.arrays[tag].Accesses += done
 	}

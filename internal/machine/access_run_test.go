@@ -112,9 +112,7 @@ func replayDiff(dc diffConfig, ops []diffOp, bulk bool) diffSnapshot {
 		Cache:  m.Cache.Stats(),
 	}
 	for _, v := range vmas {
-		heat := make([]uint64, len(v.Heat))
-		copy(heat, v.Heat)
-		snap.Heat = append(snap.Heat, heat)
+		snap.Heat = append(snap.Heat, v.HeatCopy())
 	}
 	return snap
 }

@@ -1,0 +1,48 @@
+package machine
+
+import (
+	"unsafe"
+
+	"graphmem/internal/memsys"
+	"graphmem/internal/stats"
+)
+
+// Footprint assembles the per-subsystem simulator memory report for
+// this machine: physical frame metadata, VM mapping tables, region
+// heat, TLB/cache model arrays, the machine core itself, and every
+// frame owner that can introspect its own cost (workload drivers). Row
+// order is fixed, so the rendered report is deterministic.
+func (m *Machine) Footprint() stats.Footprint {
+	f := stats.Footprint{SimulatedBytes: m.Mem.TotalPages() * memsys.PageSize}
+
+	cur, legacy := m.Mem.FootprintBytes()
+	f.Add("memsys/frames", cur, legacy)
+
+	tables, tablesLegacy, heat, heatLegacy := m.Space.FootprintBytes()
+	f.Add("vm/tables", tables, tablesLegacy)
+	f.Add("vm/heat", heat, heatLegacy)
+
+	hw := m.TLB.FootprintBytes() + m.Cache.FootprintBytes()
+	f.Add("tlb+cache", hw, hw)
+
+	// The machine core: the struct itself (which embeds the translation
+	// cache arrays) plus its dynamic accounting slices.
+	core := uint64(unsafe.Sizeof(*m)) +
+		uint64(cap(m.done))*uint64(unsafe.Sizeof(PhaseStats{})) +
+		uint64(cap(m.arrays))*uint64(unsafe.Sizeof(ArrayStats{})) +
+		uint64(cap(m.observers))*16 +
+		uint64(cap(m.tickers))*uint64(unsafe.Sizeof(ticker{}))
+	f.Add("machine", core, core)
+
+	// Frame owners outside the machine (memhog, page cache, churner)
+	// report themselves. The address space and its VMAs do not
+	// implement FootprintReporter — their cost is already the vm rows
+	// above — so the type assertion skips them.
+	for _, o := range m.Mem.Owners() {
+		if r, ok := o.(memsys.FootprintReporter); ok {
+			label, cur, legacy := r.FootprintReport()
+			f.Add(label, cur, legacy)
+		}
+	}
+	return f
+}

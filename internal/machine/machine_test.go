@@ -232,8 +232,8 @@ func TestRegionHeatAccumulates(t *testing.T) {
 		m.Access(v.Base + memsys.HugeSize + uint64(i)*64) // region 1
 	}
 	m.Access(v.Base) // region 0
-	if v.Heat[1] != 5 || v.Heat[0] != 1 || v.Heat[2] != 0 {
-		t.Fatalf("heat = %v", v.Heat[:3])
+	if v.HeatAt(1) != 5 || v.HeatAt(0) != 1 || v.HeatAt(2) != 0 {
+		t.Fatalf("heat = %v", v.HeatCopy()[:3])
 	}
 }
 

@@ -12,7 +12,7 @@ import (
 // (DESIGN.md §5c). It is embedded anonymously in Machine so the access
 // engine's fast paths read the fields through promotion, exactly as
 // before the split; Fork copies it via clone. Region heat is per-shard
-// too, but lives in the VMAs (vm.VMA.Heat) and therefore forks with
+// too, but lives in the VMAs (per-chunk heat counters) and forks with
 // the address space rather than with this struct.
 //
 // The grouping is the refactor's contract, not a runtime mechanism: a

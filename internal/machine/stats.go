@@ -132,8 +132,11 @@ func (m *Machine) Phase(name string) (PhaseStats, bool) {
 // dispatched through the observer list.
 
 // accountHeat records region heat for heat-guided promotion policies.
+// The accessed address just translated through a live mapping, so the
+// region's chunk is guaranteed materialized and AddHeat is a plain
+// array increment — no allocation, no nil check on the fast path.
 func (m *Machine) accountHeat(va uint64, v *vm.VMA) {
-	v.Heat[(va-v.Base)>>21]++
+	v.AddHeat(int((va-v.Base)>>21), 1)
 }
 
 // accountArray attributes the access to its registered array, if any.

@@ -35,6 +35,11 @@ func (m *Memory) Clone(remap func(old Owner, clone *Memory) Owner) *Memory {
 		owners:      append([]Owner(nil), m.owners...),
 		stats:       m.stats,
 	}
+	if m.shadow != nil {
+		// Test-only differential mirror: keep it coherent on the clone
+		// too, so shadow-enabled forks stay checkable.
+		c.shadow = append([]frameShadow(nil), m.shadow...)
+	}
 	for o := range m.freeBits {
 		c.freeBits[o] = append([]uint64(nil), m.freeBits[o]...)
 	}

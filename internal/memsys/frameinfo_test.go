@@ -1,0 +1,86 @@
+package memsys
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestFrameInfoSize is the runtime twin of the compile-time array
+// assertion in memsys.go and the hook the CI step greps for: frame
+// metadata must cost at most 8 bytes per frame, pointer-free, or a
+// paper-geometry node's metadata array doubles.
+func TestFrameInfoSize(t *testing.T) {
+	if s := unsafe.Sizeof(frameInfo{}); s > 8 {
+		t.Fatalf("frameInfo is %d bytes, budget is 8", s)
+	}
+	var fi frameInfo
+	if fi.allocated() || fi.blockOrder() != 0 || fi.owner() != 0 || fi.cookie() != 0 {
+		t.Fatal("zero frameInfo does not decode as a free frame")
+	}
+}
+
+// TestFrameInfoPackRoundTrip drives the packed encode/decode through
+// every field boundary value.
+func TestFrameInfoPackRoundTrip(t *testing.T) {
+	orders := []int{0, 1, HugeOrder, MaxOrder}
+	mtypes := []MigrateType{Movable, Unmovable, Reclaimable, Pinned}
+	owners := []ownerRef{0, 1, maxOwnerRefs - 1}
+	cookies := []uint64{0, 1, CookieLimit - 1}
+	for _, o := range orders {
+		for _, mt := range mtypes {
+			for _, ref := range owners {
+				for _, ck := range cookies {
+					fi := packFrame(o, mt, ref, ck)
+					if !fi.allocated() {
+						t.Fatalf("packFrame(%d,%d,%d,%d) not allocated", o, mt, ref, ck)
+					}
+					if fi.blockOrder() != uint8(o) || fi.mtype() != mt || fi.owner() != ref || fi.cookie() != ck {
+						t.Fatalf("round trip (%d,%d,%d,%d) → (%d,%d,%d,%d)",
+							o, mt, ref, ck, fi.blockOrder(), fi.mtype(), fi.owner(), fi.cookie())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFrameInfoSettersIndependent checks that each in-place setter
+// touches only its own field.
+func TestFrameInfoSettersIndependent(t *testing.T) {
+	fi := packFrame(HugeOrder, Reclaimable, 3, 0xDEADBEEF)
+	fi.setBlockOrder(0)
+	if fi.mtype() != Reclaimable || fi.owner() != 3 || fi.cookie() != 0xDEADBEEF || !fi.allocated() {
+		t.Fatal("setBlockOrder disturbed another field")
+	}
+	fi.setMtype(Pinned)
+	if fi.blockOrder() != 0 || fi.owner() != 3 || fi.cookie() != 0xDEADBEEF {
+		t.Fatal("setMtype disturbed another field")
+	}
+	fi.setOwnerCookie(maxOwnerRefs-1, CookieLimit-1)
+	if fi.blockOrder() != 0 || fi.mtype() != Pinned || !fi.allocated() {
+		t.Fatal("setOwnerCookie disturbed another field")
+	}
+	if fi.owner() != maxOwnerRefs-1 || fi.cookie() != CookieLimit-1 {
+		t.Fatal("setOwnerCookie did not land")
+	}
+}
+
+// FuzzFrameInfoPack fuzzes the packed encode/decode round trip over the
+// full field domains (inputs are masked into range, mirroring what
+// checkCookie and the allocator entry points enforce).
+func FuzzFrameInfoPack(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint16(0), uint64(0))
+	f.Add(uint8(MaxOrder), uint8(Pinned), uint16(maxOwnerRefs-1), CookieLimit-1)
+	f.Add(uint8(3), uint8(2), uint16(7), uint64(1)<<40)
+	f.Fuzz(func(t *testing.T, order, mt uint8, ref uint16, cookie uint64) {
+		o := int(order) % (MaxOrder + 1)
+		m := MigrateType(mt % 4)
+		r := ownerRef(ref) % maxOwnerRefs
+		ck := cookie % CookieLimit
+		fi := packFrame(o, m, r, ck)
+		if !fi.allocated() || fi.blockOrder() != uint8(o) || fi.mtype() != m || fi.owner() != r || fi.cookie() != ck {
+			t.Fatalf("round trip (%d,%d,%d,%d) → (alloc=%v,%d,%d,%d,%d)",
+				o, m, r, ck, fi.allocated(), fi.blockOrder(), fi.mtype(), fi.owner(), fi.cookie())
+		}
+	})
+}

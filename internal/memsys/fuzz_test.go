@@ -55,6 +55,10 @@ func FuzzAllocFree(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m := New(16 << 20) // 4096 frames
+		// Mirror every metadata write into the unpacked reference
+		// layout: each audit below then also cross-checks the packed
+		// words field by field (shadowCheck via CheckInvariants).
+		m.EnableShadow()
 		owner := &fuzzOwner{t: t}
 		var huge []Frame // movable huge blocks, nil owner: immune to move/reclaim
 		type ublock struct {

@@ -12,6 +12,7 @@ package memsys
 import (
 	"fmt"
 	"math/bits"
+	"unsafe"
 
 	"graphmem/internal/check"
 )
@@ -84,6 +85,15 @@ type Owner interface {
 	FrameReclaimed(f Frame, cookie uint64) bool
 }
 
+// FootprintReporter is optionally implemented by owners (workload
+// drivers) that can report their simulator-side footprint for the
+// stats.Footprint per-subsystem breakdown. label names the row, cur is
+// the bytes the current representation costs, legacy what the
+// pre-compaction (PR 9) representation would have cost.
+type FootprintReporter interface {
+	FootprintReport() (label string, cur, legacy uint64)
+}
+
 // ownerRef is an index into Memory.owners; ref 0 is the nil owner. A
 // node hosts a handful of distinct owners (one address space, a memhog,
 // perhaps a page cache) spread across millions of frames, so frames
@@ -94,12 +104,89 @@ type Owner interface {
 // sharded engine's fork-per-shard bring-up depends on.
 type ownerRef uint16
 
-// frameInfo is the per-frame metadata word.
-type frameInfo struct {
-	allocated bool
-	// blockOrder is the order of the allocation this frame belongs to.
-	// Compaction and reclaim refuse to operate on constituents of
-	// order>=HugeOrder blocks: a huge page moves or dies as a unit.
+// frameInfo packs the per-frame metadata into a single 64-bit word so a
+// paper-geometry node (100+ GB, tens of millions of frames) costs
+// 8 B/frame of simulator memory instead of 16:
+//
+//	bits  0..47  cookie (48-bit owner mapping id; see CookieLimit)
+//	bits 48..51  blockOrder (0..MaxOrder)
+//	bits 52..53  mtype
+//	bit  54      allocated
+//	bits 55..63  owner ref (interned; up to maxOwnerRefs owners)
+//
+// The zero value is a free frame. The word stays pointer-free, so Clone
+// still copies the array with one flat memmove.
+type frameInfo struct{ w uint64 }
+
+// Compile-time budget assertion: the array length underflows (negative
+// constant) if frameInfo ever outgrows 8 bytes.
+var _ [8 - unsafe.Sizeof(frameInfo{})]byte
+
+const (
+	fiCookieBits = 48
+	fiOrderShift = 48
+	fiOrderMask  = uint64(0xF) << fiOrderShift
+	fiMtypeShift = 52
+	fiMtypeMask  = uint64(0x3) << fiMtypeShift
+	fiAllocBit   = uint64(1) << 54
+	fiOwnerShift = 55
+	fiOwnerMask  = uint64(maxOwnerRefs-1) << fiOwnerShift
+
+	// maxOwnerRefs bounds the interned owner table: frameInfo keeps
+	// 64-55 = 9 bits for the owner ref.
+	maxOwnerRefs = 1 << (64 - fiOwnerShift)
+)
+
+// CookieLimit is the exclusive upper bound on owner cookies: a cookie
+// shares the packed frame word with the allocation metadata, so owners
+// get 48 bits of mapping id. The VM layer's encoding (19-bit VMA id ·
+// 28-bit page index · huge flag) fits a 1 TB VMA with room to spare.
+const CookieLimit = uint64(1) << fiCookieBits
+
+// packFrame builds the metadata word for one allocated frame.
+func packFrame(order int, mtype MigrateType, owner ownerRef, cookie uint64) frameInfo {
+	return frameInfo{fiAllocBit |
+		cookie |
+		uint64(order)<<fiOrderShift |
+		uint64(mtype)<<fiMtypeShift |
+		uint64(owner)<<fiOwnerShift}
+}
+
+func (fi frameInfo) allocated() bool    { return fi.w&fiAllocBit != 0 }
+func (fi frameInfo) blockOrder() uint8  { return uint8(fi.w >> fiOrderShift & 0xF) }
+func (fi frameInfo) mtype() MigrateType { return MigrateType(fi.w >> fiMtypeShift & 0x3) }
+func (fi frameInfo) owner() ownerRef    { return ownerRef(fi.w >> fiOwnerShift) }
+func (fi frameInfo) cookie() uint64     { return fi.w & (CookieLimit - 1) }
+
+func (fi *frameInfo) setBlockOrder(order uint8) {
+	fi.w = fi.w&^fiOrderMask | uint64(order)<<fiOrderShift
+}
+
+func (fi *frameInfo) setMtype(mt MigrateType) {
+	fi.w = fi.w&^fiMtypeMask | uint64(mt)<<fiMtypeShift
+}
+
+func (fi *frameInfo) setOwnerCookie(owner ownerRef, cookie uint64) {
+	fi.w = fi.w&^((CookieLimit-1)|fiOwnerMask) |
+		cookie | uint64(owner)<<fiOwnerShift
+}
+
+// checkCookie rejects cookies that do not fit the packed budget. Owners
+// choose their own cookie encodings, so this is a contract check at the
+// allocation/retarget boundary rather than silent truncation.
+func checkCookie(cookie uint64) {
+	if cookie >= CookieLimit {
+		panic(check.Failf("memsys: cookie %#x exceeds the %d-bit packed budget", cookie, fiCookieBits))
+	}
+}
+
+// frameShadow is the reference unpacked frame layout (the pre-packing
+// representation). When shadow mirroring is enabled — tests only — every
+// metadata write is mirrored here so a differential harness can assert
+// the packed encode/decode agrees with plain field stores across whole
+// workloads.
+type frameShadow struct {
+	allocated  bool
 	blockOrder uint8
 	mtype      MigrateType
 	owner      ownerRef
@@ -122,6 +209,12 @@ type Stats struct {
 type Memory struct {
 	nframes Frame
 	frames  []frameInfo
+
+	// shadow, when non-nil, mirrors every frame-metadata write in the
+	// unpacked reference layout (EnableShadow; test-only differential
+	// harness). All mutation flows through the helpers below, so the
+	// mirror stays exact without touching the read paths.
+	shadow []frameShadow
 
 	// freeBits[o] marks block-start frames of free order-o blocks.
 	freeBits [MaxOrder + 1][]uint64
@@ -198,8 +291,8 @@ func (m *Memory) ownerRefFor(o Owner) ownerRef {
 	if len(m.owners) == 0 {
 		m.owners = append(m.owners, nil)
 	}
-	if len(m.owners) > int(^uint16(0)) {
-		panic(check.Failf("memsys: more than %d distinct frame owners", ^uint16(0)))
+	if len(m.owners) >= maxOwnerRefs {
+		panic(check.Failf("memsys: more than %d distinct frame owners", maxOwnerRefs-1))
 	}
 	m.owners = append(m.owners, o)
 	return ownerRef(len(m.owners) - 1)
@@ -211,6 +304,16 @@ func (m *Memory) ownerAt(r ownerRef) Owner {
 		return nil
 	}
 	return m.owners[r]
+}
+
+// Owners returns the interned owner table minus the nil slot, in
+// interning order (deterministic). Intended for introspection such as
+// the footprint report, not hot paths; the slice is a copy.
+func (m *Memory) Owners() []Owner {
+	if len(m.owners) <= 1 {
+		return nil
+	}
+	return append([]Owner(nil), m.owners[1:]...)
 }
 
 // queueIndexFor returns which reclaim queue (if any) a frame with the
@@ -269,6 +372,71 @@ func (m *Memory) FreePages() uint64 { return m.freePages }
 // Stats returns a copy of the allocator counters.
 func (m *Memory) Stats() Stats { return m.stats }
 
+// --- metadata write helpers ------------------------------------------
+
+// setFrames stamps npages consecutive frames as constituents of one
+// allocated block. Every bulk metadata write funnels through here so the
+// optional shadow mirror stays exact.
+func (m *Memory) setFrames(f, npages Frame, order int, mtype MigrateType, ref ownerRef, cookie uint64) {
+	fi := packFrame(order, mtype, ref, cookie)
+	for i := Frame(0); i < npages; i++ {
+		m.frames[f+i] = fi
+	}
+	if m.shadow != nil {
+		s := frameShadow{allocated: true, blockOrder: uint8(order), mtype: mtype, owner: ref, cookie: cookie}
+		for i := Frame(0); i < npages; i++ {
+			m.shadow[f+i] = s
+		}
+	}
+}
+
+// clearFrames zeroes the metadata of npages consecutive frames with a
+// single range clear (the zero word is a free frame), replacing the
+// per-frame stores the free/evacuate/reclaim paths used to do.
+func (m *Memory) clearFrames(f, npages Frame) {
+	clear(m.frames[f : f+npages])
+	if m.shadow != nil {
+		clear(m.shadow[f : f+npages])
+	}
+}
+
+// EnableShadow starts mirroring every frame-metadata write into a
+// reference unpacked store, seeded from the current decoded state. Tests
+// use this as a differential oracle for the packed representation; it is
+// never enabled on the simulation path (it doubles frame-metadata
+// memory).
+func (m *Memory) EnableShadow() {
+	m.shadow = make([]frameShadow, m.nframes)
+	for f := Frame(0); f < m.nframes; f++ {
+		fi := m.frames[f]
+		if fi.w == 0 {
+			continue
+		}
+		m.shadow[f] = frameShadow{fi.allocated(), fi.blockOrder(), fi.mtype(), fi.owner(), fi.cookie()}
+	}
+}
+
+// ShadowCheck compares every frame's decoded packed metadata against the
+// shadow reference store, returning the first mismatch. It is an error
+// to call it without EnableShadow.
+func (m *Memory) ShadowCheck() error {
+	if m.shadow == nil {
+		return fmt.Errorf("memsys: ShadowCheck without EnableShadow")
+	}
+	return m.shadowCheck()
+}
+
+func (m *Memory) shadowCheck() error {
+	for f := Frame(0); f < m.nframes; f++ {
+		fi := m.frames[f]
+		got := frameShadow{fi.allocated(), fi.blockOrder(), fi.mtype(), fi.owner(), fi.cookie()}
+		if got != m.shadow[f] {
+			return fmt.Errorf("frame %d: packed decodes to %+v but shadow reference says %+v", f, got, m.shadow[f])
+		}
+	}
+	return nil
+}
+
 // --- bitset helpers -------------------------------------------------
 
 func (m *Memory) setFree(f Frame, order int) {
@@ -326,6 +494,7 @@ func (m *Memory) Alloc(order int, mtype MigrateType, owner Owner, cookie uint64)
 	if order < 0 || order > MaxOrder {
 		panic(check.Failf("memsys: bad order %d", order))
 	}
+	checkCookie(cookie)
 	f := m.allocBlock(order)
 	if f == NoFrame {
 		if order >= HugeOrder {
@@ -335,14 +504,7 @@ func (m *Memory) Alloc(order int, mtype MigrateType, owner Owner, cookie uint64)
 	}
 	npages := Frame(1) << order
 	ref := m.ownerRefFor(owner)
-	for i := Frame(0); i < npages; i++ {
-		fi := &m.frames[f+i]
-		fi.allocated = true
-		fi.blockOrder = uint8(order)
-		fi.mtype = mtype
-		fi.owner = ref
-		fi.cookie = cookie
-	}
+	m.setFrames(f, npages, order, mtype, ref, cookie)
 	if order < HugeOrder {
 		for i := Frame(0); i < npages; i++ {
 			m.enqueueReclaim(f+i, mtype, owner)
@@ -367,6 +529,7 @@ func (m *Memory) AllocAt(f Frame, order int, mtype MigrateType, owner Owner, coo
 	if f%(1<<order) != 0 || f+(1<<order) > m.nframes {
 		return false
 	}
+	checkCookie(cookie)
 	// Find the free block containing f.
 	found := -1
 	var start Frame
@@ -394,14 +557,7 @@ func (m *Memory) AllocAt(f Frame, order int, mtype MigrateType, owner Owner, coo
 	}
 	npages := Frame(1) << order
 	ref := m.ownerRefFor(owner)
-	for i := Frame(0); i < npages; i++ {
-		fi := &m.frames[f+i]
-		fi.allocated = true
-		fi.blockOrder = uint8(order)
-		fi.mtype = mtype
-		fi.owner = ref
-		fi.cookie = cookie
-	}
+	m.setFrames(f, npages, order, mtype, ref, cookie)
 	if order < HugeOrder {
 		for i := Frame(0); i < npages; i++ {
 			m.enqueueReclaim(f+i, mtype, owner)
@@ -444,13 +600,13 @@ func (m *Memory) Free(f Frame, order int) {
 		panic(check.Failf("memsys: free out of range"))
 	}
 	for i := Frame(0); i < npages; i++ {
-		fi := &m.frames[f+i]
-		if !fi.allocated {
+		fi := m.frames[f+i]
+		if !fi.allocated() {
 			panic(check.Failf("memsys: double free of frame %d", f+i))
 		}
-		m.allocByType[fi.mtype]--
-		*fi = frameInfo{}
+		m.allocByType[fi.mtype()]--
 	}
+	m.clearFrames(f, npages)
 	m.freePages += uint64(npages)
 	m.stats.Frees++
 	m.freeBlock(f, order)
@@ -480,10 +636,15 @@ func (m *Memory) SplitAllocated(f Frame, order int) {
 	npages := Frame(1) << order
 	for i := Frame(0); i < npages; i++ {
 		fi := &m.frames[f+i]
-		if !fi.allocated {
+		if !fi.allocated() {
 			panic(check.Failf("memsys: SplitAllocated on free frame"))
 		}
-		fi.blockOrder = 0
+		fi.setBlockOrder(0)
+	}
+	if m.shadow != nil {
+		for i := Frame(0); i < npages; i++ {
+			m.shadow[f+i].blockOrder = 0
+		}
 	}
 }
 
@@ -491,34 +652,42 @@ func (m *Memory) SplitAllocated(f Frame, order int) {
 // layer uses this when it remaps a frame (e.g. after promotion).
 func (m *Memory) SetOwner(f Frame, owner Owner, cookie uint64) {
 	fi := &m.frames[f]
-	if !fi.allocated {
+	if !fi.allocated() {
 		panic(check.Failf("memsys: SetOwner on free frame"))
 	}
-	fi.owner = m.ownerRefFor(owner)
-	fi.cookie = cookie
+	checkCookie(cookie)
+	ref := m.ownerRefFor(owner)
+	fi.setOwnerCookie(ref, cookie)
+	if m.shadow != nil {
+		m.shadow[f].owner = ref
+		m.shadow[f].cookie = cookie
+	}
 	// Huge-block head frames are enqueued too: when reclaim selects
 	// one, the owner responds by demoting the mapping (Linux's
 	// split-THP-under-reclaim), which turns the constituents into
 	// ordinary candidates.
-	m.enqueueReclaim(f, fi.mtype, owner)
+	m.enqueueReclaim(f, fi.mtype(), owner)
 }
 
 // SetMigrateType changes the migrate type of one allocated frame.
 func (m *Memory) SetMigrateType(f Frame, mt MigrateType) {
 	fi := &m.frames[f]
-	if !fi.allocated {
+	if !fi.allocated() {
 		panic(check.Failf("memsys: SetMigrateType on free frame"))
 	}
-	m.allocByType[fi.mtype]--
+	m.allocByType[fi.mtype()]--
 	m.allocByType[mt]++
-	fi.mtype = mt
+	fi.setMtype(mt)
+	if m.shadow != nil {
+		m.shadow[f].mtype = mt
+	}
 }
 
 // MigrateTypeOf reports the migrate type of an allocated frame.
-func (m *Memory) MigrateTypeOf(f Frame) MigrateType { return m.frames[f].mtype }
+func (m *Memory) MigrateTypeOf(f Frame) MigrateType { return m.frames[f].mtype() }
 
 // Allocated reports whether frame f is currently allocated.
-func (m *Memory) Allocated(f Frame) bool { return m.frames[f].allocated }
+func (m *Memory) Allocated(f Frame) bool { return m.frames[f].allocated() }
 
 // --- fragmentation metrics -------------------------------------------
 
@@ -543,6 +712,23 @@ func (m *Memory) FragmentationIndex() float64 {
 	}
 	inHuge := m.FreeHugeBlocks() * HugePages
 	return 1 - float64(inHuge)/float64(m.freePages)
+}
+
+// FootprintBytes reports the simulator-side bytes backing this node's
+// physical-memory metadata (cur), alongside what the pre-packing
+// representation would have cost (legacy: 16 B/frame, same bitset and
+// queue overheads), for the stats.Footprint report. Shadow mirroring is
+// test-only and deliberately excluded.
+func (m *Memory) FootprintBytes() (cur, legacy uint64) {
+	var bitsBytes uint64
+	for o := 0; o <= MaxOrder; o++ {
+		bitsBytes += uint64(len(m.freeBits[o])) * 8
+	}
+	qBytes := uint64(cap(m.reclaimQ[0].items)+cap(m.reclaimQ[1].items)) * 4
+	ownBytes := uint64(len(m.owners)) * 16
+	fixed := bitsBytes + qBytes + ownBytes
+	n := uint64(m.nframes)
+	return n*uint64(unsafe.Sizeof(frameInfo{})) + fixed, n*16 + fixed
 }
 
 // --- compaction -------------------------------------------------------
@@ -595,15 +781,15 @@ func (m *Memory) TryCompactHuge() CompactionResult {
 func (m *Memory) regionCompactionCost(base Frame) (int, bool) {
 	cost := 0
 	for i := Frame(0); i < HugePages; i++ {
-		fi := &m.frames[base+i]
-		if !fi.allocated {
+		fi := m.frames[base+i]
+		if !fi.allocated() {
 			continue
 		}
-		if fi.blockOrder >= HugeOrder {
+		if fi.blockOrder() >= HugeOrder {
 			// A live huge page occupies this region; nothing to gain.
 			return 0, false
 		}
-		switch fi.mtype {
+		switch fi.mtype() {
 		case Movable, Pinned:
 			cost++
 		default:
@@ -626,8 +812,8 @@ func (m *Memory) regionCompactionCost(base Frame) (int, bool) {
 func (m *Memory) evacuateRegion(base Frame) (migrated int, ok bool) {
 	for i := Frame(0); i < HugePages; i++ {
 		f := base + i
-		fi := &m.frames[f]
-		if !fi.allocated {
+		fi := m.frames[f]
+		if !fi.allocated() {
 			continue
 		}
 		dst := m.allocOutside(base)
@@ -635,21 +821,14 @@ func (m *Memory) evacuateRegion(base Frame) (migrated int, ok bool) {
 			return migrated, false // out of destination memory mid-compaction
 		}
 		// Move metadata, notify owner, free the source frame.
-		d := &m.frames[dst]
-		d.allocated = true
-		d.blockOrder = 0
-		d.mtype = fi.mtype
-		d.owner = fi.owner
-		d.cookie = fi.cookie
-		owner := m.ownerAt(d.owner)
-		m.enqueueReclaim(dst, d.mtype, owner)
+		m.setFrames(dst, 1, 0, fi.mtype(), fi.owner(), fi.cookie())
+		owner := m.ownerAt(fi.owner())
+		m.enqueueReclaim(dst, fi.mtype(), owner)
 		m.freePages-- // dst leaves the free pool
 		if owner != nil {
-			owner.FrameMoved(f, dst, fi.cookie)
+			owner.FrameMoved(f, dst, fi.cookie())
 		}
-		m.allocByType[fi.mtype]--
-		m.allocByType[d.mtype]++
-		*fi = frameInfo{}
+		m.clearFrames(f, 1)
 		m.freePages++
 		m.freeBlock(f, 0)
 		migrated++
@@ -762,22 +941,24 @@ func (m *Memory) reclaimPass(mt MigrateType, want int) int {
 		if !ok {
 			break
 		}
-		fi := &m.frames[f]
-		if !fi.allocated || fi.mtype != mt || fi.owner == 0 {
+		fi := m.frames[f]
+		if !fi.allocated() || fi.mtype() != mt || fi.owner() == 0 {
 			continue // stale entry
 		}
-		if !m.ownerAt(fi.owner).FrameReclaimed(f, fi.cookie) {
+		if !m.ownerAt(fi.owner()).FrameReclaimed(f, fi.cookie()) {
 			// Vetoed outright, or a huge mapping that the owner
 			// demoted in place (its constituents are now queued):
 			// rotate to the back like an inactive-list page.
 			q.push(f)
 			continue
 		}
-		if fi.blockOrder >= HugeOrder {
+		// Re-read: the owner's callback may have split the block.
+		fi = m.frames[f]
+		if fi.blockOrder() >= HugeOrder {
 			panic(check.Failf("memsys: owner approved freeing a huge block constituent"))
 		}
-		m.allocByType[fi.mtype]--
-		*fi = frameInfo{}
+		m.allocByType[fi.mtype()]--
+		m.clearFrames(f, 1)
 		m.freePages++
 		m.freeBlock(f, 0)
 		got++
@@ -789,8 +970,8 @@ func (m *Memory) reclaimPass(mt MigrateType, want int) int {
 // intended for diagnostics and tests, not hot paths.
 func (m *Memory) ForEachAllocated(fn func(f Frame, mt MigrateType)) {
 	for f := Frame(0); f < m.nframes; f++ {
-		if m.frames[f].allocated {
-			fn(f, m.frames[f].mtype)
+		if m.frames[f].allocated() {
+			fn(f, m.frames[f].mtype())
 		}
 	}
 }
@@ -806,6 +987,9 @@ func (m *Memory) ForEachAllocated(fn func(f Frame, mt MigrateType)) {
 //     free (Free merges eagerly, so such a pair means a missed merge);
 //   - per-migratetype conservation: the incrementally-maintained
 //     allocByType counters match a full scan of frame metadata.
+//
+// When the shadow mirror is enabled the packed metadata is additionally
+// diffed against the unpacked reference store.
 func (m *Memory) CheckInvariants() error {
 	// coverage marks frames claimed by some free block during the scan,
 	// to detect overlapping free blocks.
@@ -835,7 +1019,7 @@ func (m *Memory) CheckInvariants() error {
 					if f+i >= m.nframes {
 						return fmt.Errorf("free block %d order %d exceeds memory", f, o)
 					}
-					if m.frames[f+i].allocated {
+					if m.frames[f+i].allocated() {
 						return fmt.Errorf("frame %d allocated but inside free block %d order %d", f+i, f, o)
 					}
 					if covered(f + i) {
@@ -856,9 +1040,9 @@ func (m *Memory) CheckInvariants() error {
 	var allocated uint64
 	var byType [4]uint64
 	for f := Frame(0); f < m.nframes; f++ {
-		if m.frames[f].allocated {
+		if m.frames[f].allocated() {
 			allocated++
-			byType[m.frames[f].mtype]++
+			byType[m.frames[f].mtype()]++
 		} else if !covered(f) {
 			return fmt.Errorf("frame %d neither allocated nor inside any free block", f)
 		}
@@ -870,6 +1054,11 @@ func (m *Memory) CheckInvariants() error {
 		if n != m.allocByType[mt] {
 			return fmt.Errorf("migratetype %s: counter says %d frames but scan found %d",
 				MigrateType(mt), m.allocByType[mt], n)
+		}
+	}
+	if m.shadow != nil {
+		if err := m.shadowCheck(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -26,5 +26,8 @@ func (k *Kernel) Clone(mem *memsys.Memory, space *vm.AddressSpace) *Kernel {
 		demoteVMA:    k.demoteVMA,
 		demoteRegion: k.demoteRegion,
 		hugetlbPool:  append([]memsys.Frame(nil), k.hugetlbPool...),
+		// heatCands is per-scan scratch, cleared at the end of every
+		// scan; the clone starts with an empty buffer and re-grows it.
+		heatCands: nil,
 	}
 }

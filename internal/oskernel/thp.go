@@ -11,7 +11,6 @@ package oskernel
 
 import (
 	"fmt"
-	"sort"
 
 	"graphmem/internal/check"
 	"graphmem/internal/cost"
@@ -260,6 +259,23 @@ type Kernel struct {
 
 	// hugetlbPool holds boot-time reserved huge frames (hugetlbfs).
 	hugetlbPool []memsys.Frame
+
+	// heatCands is the reusable candidate buffer for PromoteByHeat
+	// scans, retained (capacity only) across ticks so steady-state
+	// khugepaged batches allocate nothing even at large VMA counts.
+	// Contents are scratch — dead between scans and cleared after each
+	// one so retained capacity pins no VMAs.
+	heatCands []heatCand
+}
+
+// heatCand is one PromoteByHeat candidate: a region, its accumulated
+// heat, and its discovery ordinal (VMA order, then region ascending),
+// which is the deterministic tie-break for equal heat.
+type heatCand struct {
+	v    *vm.VMA
+	r    int
+	heat uint64
+	ord  int
 }
 
 // New wires a kernel to an address space and cost model. If the config
@@ -564,14 +580,13 @@ func (k *Kernel) khugepagedScan() uint64 {
 }
 
 // heatScan is the PromoteByHeat scan body: rank every eligible region by
-// accumulated access heat and promote the hottest few.
+// accumulated access heat and promote the hottest few. Candidates are
+// collected into the kernel-owned reusable buffer and ordered by an
+// in-place heapsort over a total order (heat descending, discovery order
+// ascending), which reproduces the old stable-sort-by-heat result
+// without the per-scan slice and closure allocations.
 func (k *Kernel) heatScan(vmas []*vm.VMA) uint64 {
-	type cand struct {
-		v    *vm.VMA
-		r    int
-		heat uint64
-	}
-	var cands []cand
+	cands := k.heatCands[:0]
 	for _, v := range vmas {
 		for r := 0; r < v.FullRegions(); r++ {
 			if !k.hugeEligible(v, r) || v.HugeMapped(r) {
@@ -581,10 +596,10 @@ func (k *Kernel) heatScan(vmas []*vm.VMA) uint64 {
 			if present == 0 || vm.RegionPages-present > k.cfg.MaxPtesNone {
 				continue
 			}
-			cands = append(cands, cand{v, r, v.Heat[r]})
+			cands = append(cands, heatCand{v, r, v.HeatAt(r), len(cands)})
 		}
 	}
-	sort.SliceStable(cands, func(a, b int) bool { return cands[a].heat > cands[b].heat })
+	sortHeatCands(cands)
 	var cycles uint64
 	promoted := 0
 	for _, c := range cands {
@@ -596,7 +611,51 @@ func (k *Kernel) heatScan(vmas []*vm.VMA) uint64 {
 			promoted++
 		}
 	}
+	clear(cands) // drop VMA pointers; keep only the capacity
+	k.heatCands = cands[:0]
 	return cycles
+}
+
+// heatAfter reports whether candidate a sorts after b: colder regions
+// after hotter ones, later-discovered after earlier on equal heat. The
+// ordinal makes this a total order, so any comparison sort yields the
+// permutation the previous stable sort produced.
+func heatAfter(a, b heatCand) bool {
+	if a.heat != b.heat {
+		return a.heat < b.heat
+	}
+	return a.ord > b.ord
+}
+
+// sortHeatCands heapsorts the candidate buffer in place (hottest first).
+// Hand-rolled because sort.Slice/sort.SliceStable box the slice and
+// closure into interfaces, allocating on every khugepaged tick.
+func sortHeatCands(s []heatCand) {
+	n := len(s)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownHeat(s, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		s[0], s[end] = s[end], s[0]
+		siftDownHeat(s, 0, end)
+	}
+}
+
+func siftDownHeat(s []heatCand, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && heatAfter(s[child+1], s[child]) {
+			child++
+		}
+		if !heatAfter(s[child], s[root]) {
+			return
+		}
+		s[root], s[child] = s[child], s[root]
+		root = child
+	}
 }
 
 // promoteRegion collapses region r of v into a huge page if it meets the

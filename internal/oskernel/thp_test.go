@@ -393,7 +393,9 @@ func TestHawkEyePromotesHottestFirst(t *testing.T) {
 		fault(t, k, space, v, p)
 	}
 	// Region 1 is the hottest, region 0 cold, region 2 warm.
-	v.Heat[0], v.Heat[1], v.Heat[2] = 10, 1000, 100
+	v.AddHeat(0, 10)
+	v.AddHeat(1, 1000)
+	v.AddHeat(2, 100)
 	k.Tick(10)
 	if !v.HugeMapped(1) || v.HugeMapped(0) || v.HugeMapped(2) {
 		t.Fatalf("first promotion order wrong: %v %v %v",

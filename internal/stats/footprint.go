@@ -1,0 +1,100 @@
+package stats
+
+import "fmt"
+
+// Footprint is the simulator-side memory introspection report: how many
+// host bytes each subsystem spends representing the simulated machine,
+// paired with what the pre-compaction (dense-array) representation
+// would have cost for the same state. It is the first brick of the
+// service-mode MEMORY USAGE endpoint: expdriver -footprint prints it,
+// the fullscale CI gate asserts on its Reduction, and bench.sh records
+// its totals.
+//
+// Rows are appended in a fixed subsystem order by the machine layer, so
+// the rendered table is deterministic.
+type Footprint struct {
+	// SimulatedBytes is the size of the simulated physical node.
+	SimulatedBytes uint64
+	Rows           []FootprintRow
+}
+
+// FootprintRow is one subsystem's cost: Bytes under the current
+// representation, Legacy under the pre-compaction one.
+type FootprintRow struct {
+	Subsystem string
+	Bytes     uint64
+	Legacy    uint64
+}
+
+// Add appends one subsystem row.
+func (f *Footprint) Add(subsystem string, bytes, legacy uint64) {
+	f.Rows = append(f.Rows, FootprintRow{Subsystem: subsystem, Bytes: bytes, Legacy: legacy})
+}
+
+// TotalBytes sums the current representation across subsystems.
+func (f *Footprint) TotalBytes() uint64 {
+	var t uint64
+	for _, r := range f.Rows {
+		t += r.Bytes
+	}
+	return t
+}
+
+// LegacyBytes sums the pre-compaction representation across subsystems.
+func (f *Footprint) LegacyBytes() uint64 {
+	var t uint64
+	for _, r := range f.Rows {
+		t += r.Legacy
+	}
+	return t
+}
+
+// Reduction returns LegacyBytes/TotalBytes — how many times smaller the
+// current representation is (0 when the current total is 0).
+func (f *Footprint) Reduction() float64 {
+	cur := f.TotalBytes()
+	if cur == 0 {
+		return 0
+	}
+	return float64(f.LegacyBytes()) / float64(cur)
+}
+
+// BytesPerSimGB returns current simulator bytes per simulated GB.
+func (f *Footprint) BytesPerSimGB() float64 {
+	if f.SimulatedBytes == 0 {
+		return 0
+	}
+	return float64(f.TotalBytes()) / (float64(f.SimulatedBytes) / float64(1<<30))
+}
+
+// Table renders the report as an aligned text table with per-subsystem
+// rows and a totals row.
+func (f *Footprint) Table() *Table {
+	t := NewTable(
+		fmt.Sprintf("simulator footprint (%s simulated)", fmtBytes(f.SimulatedBytes)),
+		"subsystem", "bytes", "legacy", "reduction")
+	for _, r := range f.Rows {
+		red := "-"
+		if r.Bytes > 0 {
+			red = fmt.Sprintf("%.2fx", float64(r.Legacy)/float64(r.Bytes))
+		}
+		t.AddRow(r.Subsystem, fmtBytes(r.Bytes), fmtBytes(r.Legacy), red)
+	}
+	t.AddRow("total", fmtBytes(f.TotalBytes()), fmtBytes(f.LegacyBytes()),
+		fmt.Sprintf("%.2fx", f.Reduction()))
+	return t
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

@@ -440,3 +440,17 @@ func (h *Hierarchy) Invalidate(va uint64, size vm.PageSizeClass) {
 	h.stlb.invalidate(stlbKey(va, size))
 	h.pwcPDE.invalidate(va >> 21)
 }
+
+// FootprintBytes reports the simulator-side bytes backing the TLB
+// hierarchy's tag and LRU arrays, for the stats.Footprint report. The
+// representation predates the frame-metadata compaction and is
+// unchanged by it.
+func (h *Hierarchy) FootprintBytes() uint64 {
+	var b uint64
+	for _, s := range []*setAssoc{h.l14k, h.l12m, h.stlb, h.pwcPDE, h.pwcPDPTE, h.pwcPML4E} {
+		if s != nil {
+			b += uint64(len(s.tags))*8 + uint64(len(s.stamp))*4
+		}
+	}
+	return b
+}

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"graphmem/internal/memsys"
 )
@@ -15,11 +16,13 @@ import (
 //
 //   - the VMA list is sorted by base, non-overlapping, and agrees with
 //     the byID index;
-//   - per region: present4k equals the number of live 4K mappings, and
-//     a huge-mapped region has no 4K mappings or swap entries;
+//   - per region: present4k equals the number of live 4K mappings, a
+//     huge-mapped region has no 4K mappings, swap entries, or retained
+//     page chunk, and a nil chunk really is untouched (implied: nothing
+//     mapped or swapped there);
 //   - every mapped frame is allocated in the physical layer, and no
 //     page is simultaneously mapped and swapped;
-//   - the global SwappedOut counter matches the per-page swap flags;
+//   - the global SwappedOut counter matches the per-page swap bitmaps;
 //   - with SimPageTables: every live VMA has one leaf page-table frame
 //     per region, and PageTableBytes matches the page-table page count
 //     (PML4 + PDPT + PDs + leaf PTs) — the "leaf count matches
@@ -45,9 +48,17 @@ func (as *AddressSpace) CheckInvariants() error {
 		if err := as.checkVMA(v); err != nil {
 			return fmt.Errorf("vma %s: %v", v.Name, err)
 		}
-		for _, s := range v.swap {
-			if s {
-				swapped++
+		for _, c := range v.chunks {
+			if c == nil {
+				continue
+			}
+			for _, pc := range c.pages {
+				if pc == nil {
+					continue
+				}
+				for _, w := range pc.swap {
+					swapped += uint64(bits.OnesCount64(w))
+				}
 			}
 		}
 		if as.SimPageTables {
@@ -83,41 +94,74 @@ func (as *AddressSpace) CheckInvariants() error {
 	return nil
 }
 
-// checkVMA validates one VMA's per-page and per-region accounting.
+// checkVMA validates one VMA's per-page and per-region accounting. A nil
+// chunk means an untouched GB span: by construction nothing can be
+// mapped, advised, hot, or swapped there, so it passes vacuously.
 func (as *AddressSpace) checkVMA(v *VMA) error {
+	if want := (v.Regions() + chunkRegions - 1) >> chunkShift; len(v.chunks) != want {
+		return fmt.Errorf("chunk directory has %d entries for %d regions (want %d)",
+			len(v.chunks), v.Regions(), want)
+	}
 	for r := 0; r < v.Regions(); r++ {
+		c := v.chunkFor(r)
+		if c == nil {
+			continue
+		}
+		cr := r & chunkMask
 		lo, hi := r*RegionPages, (r+1)*RegionPages
 		if hi > v.Pages {
 			hi = v.Pages
 		}
+		pc := c.pages[cr]
 		mapped4k := 0
-		for p := lo; p < hi; p++ {
-			f := v.base[p]
-			if f != memsys.NoFrame {
-				mapped4k++
-				if !as.mem.Allocated(f) {
-					return fmt.Errorf("page %d mapped to free frame %d", p, f)
+		if pc != nil {
+			for p := lo; p < hi; p++ {
+				pi := p & (RegionPages - 1)
+				f := pc.base[pi]
+				if f != memsys.NoFrame {
+					mapped4k++
+					if !as.mem.Allocated(f) {
+						return fmt.Errorf("page %d mapped to free frame %d", p, f)
+					}
+					if pc.swapped(pi) {
+						return fmt.Errorf("page %d both mapped and swapped", p)
+					}
 				}
-				if v.swap[p] {
-					return fmt.Errorf("page %d both mapped and swapped", p)
+			}
+			for p := hi; p < (r+1)*RegionPages; p++ {
+				pi := p & (RegionPages - 1)
+				if pc.base[pi] != memsys.NoFrame || pc.swapped(pi) {
+					return fmt.Errorf("region %d: page state past the VMA end (page %d)", r, p)
 				}
 			}
 		}
-		if int(v.present4k[r]) != mapped4k {
-			return fmt.Errorf("region %d: present4k=%d but %d pages mapped", r, v.present4k[r], mapped4k)
+		if int(c.present4k[cr]) != mapped4k {
+			return fmt.Errorf("region %d: present4k=%d but %d pages mapped", r, c.present4k[cr], mapped4k)
 		}
-		if hf := v.huge[r]; hf != memsys.NoFrame {
+		if hf := c.huge[cr]; hf != memsys.NoFrame {
 			if mapped4k != 0 {
 				return fmt.Errorf("region %d: huge-mapped with %d 4K pages present", r, mapped4k)
+			}
+			if pc != nil {
+				return fmt.Errorf("region %d: huge-mapped but retains a page chunk", r)
 			}
 			if !as.mem.Allocated(hf) {
 				return fmt.Errorf("region %d: huge-mapped to free frame %d", r, hf)
 			}
-			for p := lo; p < hi; p++ {
-				if v.swap[p] {
-					return fmt.Errorf("region %d: huge-mapped but page %d flagged swapped", r, p)
-				}
-			}
+		}
+	}
+	// Chunk-directory tail entries past the last region must be absent
+	// or empty; region indices past Regions() are unreachable via the
+	// public API, so any state there is a chunk-bookkeeping bug.
+	for r := v.Regions(); r < len(v.chunks)<<chunkShift; r++ {
+		c := v.chunkFor(r)
+		if c == nil {
+			r |= chunkMask // skip to the next chunk
+			continue
+		}
+		cr := r & chunkMask
+		if c.huge[cr] != memsys.NoFrame || c.present4k[cr] != 0 || c.pages[cr] != nil {
+			return fmt.Errorf("region %d: state past the last region", r)
 		}
 	}
 	return nil

@@ -46,7 +46,13 @@ func TestCheckInvariantsCleanAfterOps(t *testing.T) {
 
 	// Swap one page back in (the fault handler's re-map path).
 	for p := 0; p < v.Pages; p++ {
-		if v.swap[p] {
+		r := p / RegionPages
+		c := v.chunkFor(r)
+		if c == nil {
+			continue
+		}
+		pc := c.pages[r&chunkMask]
+		if pc != nil && pc.swapped(p&(RegionPages-1)) {
 			as.MapBase(v, p, mem.Alloc(0, memsys.Movable, nil, 0))
 			break
 		}
@@ -78,7 +84,7 @@ func corruptibleSpace(t *testing.T) (*AddressSpace, *memsys.Memory, *VMA) {
 
 func TestCheckInvariantsDetectsPresent4KDrift(t *testing.T) {
 	as, _, v := corruptibleSpace(t)
-	v.present4k[0] = 7 // one page is actually mapped
+	v.ensureChunk(0).present4k[0] = 7 // one page is actually mapped
 	if err := as.CheckInvariants(); err == nil {
 		t.Fatal("present4k drift not detected")
 	}
@@ -86,7 +92,7 @@ func TestCheckInvariantsDetectsPresent4KDrift(t *testing.T) {
 
 func TestCheckInvariantsDetectsMappingToFreeFrame(t *testing.T) {
 	as, mem, v := corruptibleSpace(t)
-	mem.Free(v.base[0], 0) // frame freed behind the mapping's back
+	mem.Free(v.chunkFor(0).pages[0].base[0], 0) // frame freed behind the mapping's back
 	if err := as.CheckInvariants(); err == nil {
 		t.Fatal("mapping to a free frame not detected")
 	}
@@ -94,7 +100,7 @@ func TestCheckInvariantsDetectsMappingToFreeFrame(t *testing.T) {
 
 func TestCheckInvariantsDetectsMappedAndSwapped(t *testing.T) {
 	as, _, v := corruptibleSpace(t)
-	v.swap[0] = true
+	v.chunkFor(0).pages[0].setSwap(0)
 	as.SwappedOut++
 	if err := as.CheckInvariants(); err == nil {
 		t.Fatal("page both mapped and swapped not detected")
@@ -116,8 +122,9 @@ func TestCheckInvariantsDetectsHugeWith4KOverlap(t *testing.T) {
 	hf := mem.Alloc(memsys.HugeOrder, memsys.Movable, nil, 0)
 	as.MapHuge(v, 1, hf)
 	f := mem.Alloc(0, memsys.Movable, nil, 0)
-	v.base[RegionPages] = f
-	v.present4k[1]++
+	c := v.chunkFor(1)
+	v.ensurePages(c, 1).base[0] = f
+	c.present4k[1]++
 	if err := as.CheckInvariants(); err == nil {
 		t.Fatal("huge mapping overlapping 4K mappings not detected")
 	}

@@ -49,24 +49,41 @@ func (as *AddressSpace) Clone() *AddressSpace {
 // clone deep-copies one VMA, rebinding its space back-pointer to the
 // cloned address space. VMA ids are preserved, which keeps the memsys
 // owner cookies (vma id + page/region index) valid across the fork and
-// lets Counterpart translate original-machine VMA pointers.
+// lets Counterpart translate original-machine VMA pointers. The chunk
+// directory copies sparsely: nil (untouched) spans stay nil, and each
+// materialized chunk — advice, huge/4K mappings, present counts, heat,
+// swap bitmaps — is duplicated so the fork shares no mutable state.
 func (v *VMA) clone(space *AddressSpace) *VMA {
+	chunks := make([]*vmaChunk, len(v.chunks))
+	for i, c := range v.chunks {
+		if c == nil {
+			continue
+		}
+		nc := &vmaChunk{
+			advice:    c.advice,
+			huge:      c.huge,
+			present4k: c.present4k,
+			heat:      c.heat,
+		}
+		for j, pc := range c.pages {
+			if pc != nil {
+				npc := *pc
+				nc.pages[j] = &npc
+			}
+		}
+		chunks[i] = nc
+	}
 	return &VMA{
-		Name:      v.Name,
-		Base:      v.Base,
-		Bytes:     v.Bytes,
-		Pages:     v.Pages,
-		StatsTag:  v.StatsTag,
-		id:        v.id,
-		space:     space,
-		advice:    append([]Advice(nil), v.advice...),
-		base:      append([]memsys.Frame(nil), v.base...),
-		huge:      append([]memsys.Frame(nil), v.huge...),
-		swap:      append([]bool(nil), v.swap...),
-		present4k: append([]uint16(nil), v.present4k...),
-		ptFrames:  append([]memsys.Frame(nil), v.ptFrames...),
-		Heat:      append([]uint64(nil), v.Heat...),
-		dead:      v.dead,
+		Name:     v.Name,
+		Base:     v.Base,
+		Bytes:    v.Bytes,
+		Pages:    v.Pages,
+		StatsTag: v.StatsTag,
+		id:       v.id,
+		space:    space,
+		chunks:   chunks,
+		ptFrames: append([]memsys.Frame(nil), v.ptFrames...),
+		dead:     v.dead,
 	}
 }
 

@@ -1,0 +1,44 @@
+package vm
+
+import "unsafe"
+
+// FootprintBytes reports the simulator-side bytes backing this address
+// space's mapping state, split into tables (chunk directories,
+// materialized region chunks minus their heat counters, per-page chunks,
+// leaf page-table frame lists, PD map) and heat (the per-region access
+// counters), each paired with what the legacy dense-array representation
+// would have cost: per page 4 B base + 1 B swap, per region 1 B advice +
+// 4 B huge + 2 B present4k + 8 B heat, regardless of how much of the VMA
+// was ever touched. The stats.Footprint report renders the pairs.
+func (as *AddressSpace) FootprintBytes() (tables, tablesLegacy, heat, heatLegacy uint64) {
+	const (
+		chunkBytes     = uint64(unsafe.Sizeof(vmaChunk{}))
+		pageChunkBytes = uint64(unsafe.Sizeof(pageChunk{}))
+		heatBytes      = uint64(unsafe.Sizeof([chunkRegions]uint64{}))
+		ptrBytes       = uint64(unsafe.Sizeof((*vmaChunk)(nil)))
+	)
+	for _, v := range as.vmas {
+		tables += uint64(len(v.chunks)) * ptrBytes
+		for _, c := range v.chunks {
+			if c == nil {
+				continue
+			}
+			tables += chunkBytes - heatBytes
+			heat += heatBytes
+			for _, pc := range c.pages {
+				if pc != nil {
+					tables += pageChunkBytes
+				}
+			}
+		}
+		ptB := uint64(len(v.ptFrames)) * 4
+		tables += ptB
+		regions, pages := uint64(v.Regions()), uint64(v.Pages)
+		tablesLegacy += regions*7 + pages*5 + ptB
+		heatLegacy += regions * 8
+	}
+	pdB := uint64(len(as.pds)) * 16
+	tables += pdB
+	tablesLegacy += pdB
+	return tables, tablesLegacy, heat, heatLegacy
+}

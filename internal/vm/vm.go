@@ -53,6 +53,41 @@ func (c PageSizeClass) String() string {
 	return "4K"
 }
 
+// Sparse VMA state. A paper-geometry VMA spans hundreds of GB, but a
+// workload touches only part of it, and regions that went huge need no
+// per-page state at all. Per-region and per-page bookkeeping therefore
+// live in lazily-materialized chunks: a nil chunk is a span no mapping,
+// advice, or swap entry ever touched, and costs one directory pointer.
+const (
+	// chunkShift/chunkRegions: regions per chunk (512 = 1 GB of VA).
+	chunkShift   = 9
+	chunkRegions = 1 << chunkShift
+	chunkMask    = chunkRegions - 1
+)
+
+// vmaChunk holds the per-region state for one GB-aligned group of 512
+// regions. Materialized on the first map/advise touching the group.
+type vmaChunk struct {
+	advice    [chunkRegions]Advice
+	huge      [chunkRegions]memsys.Frame // NoFrame when not huge-mapped
+	present4k [chunkRegions]uint16       // live 4K mappings per region
+	heat      [chunkRegions]uint64       // accesses per region (see AddHeat)
+	pages     [chunkRegions]*pageChunk   // per-page state; nil when none
+}
+
+// pageChunk holds the per-page state for one region: its 4K mappings
+// and a swap bitmap. Materialized on the first 4K map of the region and
+// dropped when the region goes huge (huge mappings carry no page state),
+// so an all-huge steady state costs ~0 bytes per page.
+type pageChunk struct {
+	base [RegionPages]memsys.Frame // NoFrame when not 4K-mapped
+	swap [RegionPages / 64]uint64  // bitmap: contents are on the swap device
+}
+
+func (pc *pageChunk) swapped(i int) bool { return pc.swap[i>>6]&(1<<(i&63)) != 0 }
+func (pc *pageChunk) setSwap(i int)      { pc.swap[i>>6] |= 1 << (i & 63) }
+func (pc *pageChunk) clearSwap(i int)    { pc.swap[i>>6] &^= 1 << (i & 63) }
+
 // VMA is one mmap'd region. All fields are managed by AddressSpace.
 type VMA struct {
 	Name  string
@@ -64,27 +99,51 @@ type VMA struct {
 	// per-array counters with it). -1 means untracked.
 	StatsTag int
 
-	id     uint32
-	space  *AddressSpace
-	advice []Advice       // per region
-	base   []memsys.Frame // per page; NoFrame when not 4K-mapped
-	huge   []memsys.Frame // per region; NoFrame when not huge-mapped
-	swap   []bool         // per page: contents are on the swap device
+	id    uint32
+	space *AddressSpace
 
-	// present4k[r] counts 4K-mapped pages in region r, maintained so
-	// khugepaged's scan is O(regions) instead of O(pages).
-	present4k []uint16
+	// chunks is the sparse per-region/per-page state directory, one
+	// entry per GB of VA; nil entries are untouched spans.
+	chunks []*vmaChunk
 
 	// ptFrames holds the leaf page-table page per region when the
-	// address space simulates page-table memory.
+	// address space simulates page-table memory. Deliberately eager:
+	// setupVMATables allocates the whole span at mmap time (see
+	// pagetable.go), so fault paths stay allocation-free.
 	ptFrames []memsys.Frame
 
-	// Heat counts accesses per region, maintained by the machine layer
-	// on every access. Heat-guided promotion policies (HawkEye-style)
-	// read it; the plain Linux policy ignores it.
-	Heat []uint64
-
 	dead bool
+}
+
+// chunkFor returns region r's chunk, or nil if the span is untouched.
+func (v *VMA) chunkFor(r int) *vmaChunk { return v.chunks[r>>chunkShift] }
+
+// ensureChunk materializes (if needed) and returns region r's chunk.
+func (v *VMA) ensureChunk(r int) *vmaChunk {
+	ci := r >> chunkShift
+	c := v.chunks[ci]
+	if c == nil {
+		c = &vmaChunk{}
+		for i := range c.huge {
+			c.huge[i] = memsys.NoFrame
+		}
+		v.chunks[ci] = c
+	}
+	return c
+}
+
+// ensurePages materializes (if needed) and returns the page chunk for
+// region r within chunk c.
+func (v *VMA) ensurePages(c *vmaChunk, r int) *pageChunk {
+	pc := c.pages[r&chunkMask]
+	if pc == nil {
+		pc = &pageChunk{}
+		for i := range pc.base {
+			pc.base[i] = memsys.NoFrame
+		}
+		c.pages[r&chunkMask] = pc
+	}
+	return pc
 }
 
 // Regions returns the number of 2MB regions spanned by the VMA
@@ -107,48 +166,100 @@ func (v *VMA) Madvise(offset, length uint64, adv Advice) {
 	}
 	first := int(offset / memsys.HugeSize)
 	last := int((offset + length - 1) / memsys.HugeSize)
-	for r := first; r <= last && r < len(v.advice); r++ {
-		v.advice[r] = adv
+	for r := first; r <= last && r < v.Regions(); r++ {
+		v.ensureChunk(r).advice[r&chunkMask] = adv
 	}
 }
 
 // AdviceAt returns the advice for region r.
-func (v *VMA) AdviceAt(r int) Advice { return v.advice[r] }
+func (v *VMA) AdviceAt(r int) Advice {
+	if c := v.chunkFor(r); c != nil {
+		return c.advice[r&chunkMask]
+	}
+	return AdviceDefault
+}
 
 // HugeMapped reports whether region r is backed by a huge page.
-func (v *VMA) HugeMapped(r int) bool { return v.huge[r] != memsys.NoFrame }
+func (v *VMA) HugeMapped(r int) bool {
+	c := v.chunkFor(r)
+	return c != nil && c.huge[r&chunkMask] != memsys.NoFrame
+}
 
 // Present4KInRegion returns how many base pages of region r are mapped.
-func (v *VMA) Present4KInRegion(r int) int { return int(v.present4k[r]) }
+func (v *VMA) Present4KInRegion(r int) int {
+	if c := v.chunkFor(r); c != nil {
+		return int(c.present4k[r&chunkMask])
+	}
+	return 0
+}
+
+// AddHeat charges n accesses to region r. The machine layer calls this
+// on every simulated access, so it must stay allocation-free: the
+// caller's address necessarily hit a live mapping, whose installation
+// materialized the chunk.
+func (v *VMA) AddHeat(r int, n uint64) {
+	v.chunks[r>>chunkShift].heat[r&chunkMask] += n
+}
+
+// HeatAt returns the access count of region r. Untouched spans are cold.
+func (v *VMA) HeatAt(r int) uint64 {
+	if c := v.chunkFor(r); c != nil {
+		return c.heat[r&chunkMask]
+	}
+	return 0
+}
+
+// HeatCopy returns a dense copy of the per-region heat counters
+// (diagnostics and tests; not a hot path).
+func (v *VMA) HeatCopy() []uint64 {
+	out := make([]uint64, v.Regions())
+	for r := range out {
+		out[r] = v.HeatAt(r)
+	}
+	return out
+}
 
 // MappedBytes returns the number of bytes currently backed by physical
 // memory, and the subset backed by huge pages.
 func (v *VMA) MappedBytes() (total, huge uint64) {
-	for r := range v.huge {
-		if v.huge[r] != memsys.NoFrame {
-			huge += memsys.HugeSize
+	var p4k uint64
+	for _, c := range v.chunks {
+		if c == nil {
+			continue
+		}
+		for i := range c.huge {
+			if c.huge[i] != memsys.NoFrame {
+				huge += memsys.HugeSize
+			}
+			p4k += uint64(c.present4k[i])
 		}
 	}
-	total = huge
-	for _, c := range v.present4k {
-		total += uint64(c) * memsys.PageSize
-	}
-	return total, huge
+	return huge + p4k*memsys.PageSize, huge
 }
 
 // PageVA returns the virtual address of page index p.
 func (v *VMA) PageVA(p int) uint64 { return v.Base + uint64(p)*memsys.PageSize }
 
-// cookie encoding for memsys owner callbacks: vma id in the high 31
-// bits below the huge flag, page-or-region index in the low 32.
-const cookieHuge = uint64(1) << 63
+// cookie encoding for memsys owner callbacks. The packed frame word
+// gives owners memsys.CookieLimit (48 bits) of mapping id; vm spends it
+// as huge flag · 19-bit VMA id · 28-bit page-or-region index, which
+// bounds a single VMA at 1 TB (2^28 pages) and a process at ~512K VMAs
+// — both far beyond paper geometry. Mmap enforces the bounds loudly.
+const (
+	cookieIndexBits = 28
+	cookieIDBits    = 19
+	cookieIDShift   = cookieIndexBits
+	cookieHuge      = uint64(1) << (cookieIDShift + cookieIDBits)
+	cookieIndexMask = uint64(1)<<cookieIndexBits - 1
+	cookieIDMask    = uint64(1)<<cookieIDBits - 1
+)
 
 func (v *VMA) pageCookie(p int) uint64 {
-	return uint64(v.id)<<32 | uint64(uint32(p))
+	return uint64(v.id)<<cookieIDShift | uint64(p)
 }
 
 func (v *VMA) regionCookie(r int) uint64 {
-	return cookieHuge | uint64(v.id)<<32 | uint64(uint32(r))
+	return cookieHuge | uint64(v.id)<<cookieIDShift | uint64(r)
 }
 
 // Translation is the result of a successful page table lookup.
@@ -227,33 +338,30 @@ func NewAddressSpace(mem *memsys.Memory) *AddressSpace {
 func (as *AddressSpace) Mem() *memsys.Memory { return as.mem }
 
 // Mmap creates a new anonymous VMA of the given size. The mapping is
-// demand-paged: no physical memory is allocated until pages fault in.
+// demand-paged: no physical memory is allocated until pages fault in,
+// and no per-page simulator state is allocated until then either — a
+// fresh paper-geometry VMA costs one directory pointer per GB.
 func (as *AddressSpace) Mmap(name string, bytes uint64) *VMA {
 	if bytes == 0 {
 		panic(check.Failf("vm: zero-length mmap"))
 	}
 	pages := int((bytes + memsys.PageSize - 1) / memsys.PageSize)
+	if uint64(pages) > cookieIndexMask+1 {
+		panic(check.Failf("vm: mmap of %d pages exceeds the %d-bit cookie index budget", pages, cookieIndexBits))
+	}
+	if uint64(as.nextID) > cookieIDMask {
+		panic(check.Failf("vm: VMA id space exhausted (%d-bit cookie id budget)", cookieIDBits))
+	}
 	regions := (pages + RegionPages - 1) / RegionPages
 	v := &VMA{
-		Name:      name,
-		Base:      as.nextBase,
-		Bytes:     bytes,
-		Pages:     pages,
-		StatsTag:  -1,
-		id:        as.nextID,
-		space:     as,
-		advice:    make([]Advice, regions),
-		base:      make([]memsys.Frame, pages),
-		huge:      make([]memsys.Frame, regions),
-		swap:      make([]bool, pages),
-		present4k: make([]uint16, regions),
-		Heat:      make([]uint64, regions),
-	}
-	for i := range v.base {
-		v.base[i] = memsys.NoFrame
-	}
-	for i := range v.huge {
-		v.huge[i] = memsys.NoFrame
+		Name:     name,
+		Base:     as.nextBase,
+		Bytes:    bytes,
+		Pages:    pages,
+		StatsTag: -1,
+		id:       as.nextID,
+		space:    as,
+		chunks:   make([]*vmaChunk, (regions+chunkRegions-1)>>chunkShift),
 	}
 	as.nextID++
 	// Leave a guard gap and keep every VMA 2MB aligned.
@@ -270,26 +378,45 @@ func (as *AddressSpace) Munmap(v *VMA) {
 	if v.dead {
 		panic(check.Failf("vm: munmap of dead VMA"))
 	}
-	for r, hf := range v.huge {
-		if hf != memsys.NoFrame {
-			as.mem.Free(hf, memsys.HugeOrder)
-			v.huge[r] = memsys.NoFrame
-			as.shoot(v.Base+uint64(r)*memsys.HugeSize, Page2M)
+	for ci, c := range v.chunks {
+		if c == nil {
+			continue
+		}
+		for i := range c.huge {
+			if hf := c.huge[i]; hf != memsys.NoFrame {
+				as.mem.Free(hf, memsys.HugeOrder)
+				c.huge[i] = memsys.NoFrame
+				r := ci<<chunkShift + i
+				as.shoot(v.Base+uint64(r)*memsys.HugeSize, Page2M)
+			}
 		}
 	}
-	for p, f := range v.base {
-		if f != memsys.NoFrame {
-			as.mem.Free(f, 0)
-			v.base[p] = memsys.NoFrame
-			as.shoot(v.PageVA(p), Page4K)
+	for ci, c := range v.chunks {
+		if c == nil {
+			continue
 		}
-		if v.swap[p] {
-			v.swap[p] = false
-			as.SwappedOut--
+		for i, pc := range c.pages {
+			if pc == nil {
+				continue
+			}
+			lo := (ci<<chunkShift + i) * RegionPages
+			for j := range pc.base {
+				if f := pc.base[j]; f != memsys.NoFrame {
+					as.mem.Free(f, 0)
+					pc.base[j] = memsys.NoFrame
+					as.shoot(v.PageVA(lo+j), Page4K)
+				}
+				if pc.swapped(j) {
+					pc.clearSwap(j)
+					as.SwappedOut--
+				}
+			}
+			c.pages[i] = nil
 		}
-	}
-	for r := range v.present4k {
-		v.present4k[r] = 0
+		for i := range c.present4k {
+			c.present4k[i] = 0
+		}
+		v.chunks[ci] = nil
 	}
 	as.teardownVMATables(v)
 	v.dead = true
@@ -339,7 +466,12 @@ func (as *AddressSpace) Translate(va uint64) (Translation, *FaultInfo, bool) {
 	}
 	p := int((va - v.Base) / memsys.PageSize)
 	r := p / RegionPages
-	if hf := v.huge[r]; hf != memsys.NoFrame {
+	c := v.chunkFor(r)
+	if c == nil {
+		return Translation{}, &FaultInfo{VMA: v, Page: p}, false
+	}
+	cr := r & chunkMask
+	if hf := c.huge[cr]; hf != memsys.NoFrame {
 		return Translation{
 			Frame:  hf,
 			Size:   Page2M,
@@ -347,10 +479,15 @@ func (as *AddressSpace) Translate(va uint64) (Translation, *FaultInfo, bool) {
 			VMA:    v,
 		}, nil, true
 	}
-	if f := v.base[p]; f != memsys.NoFrame {
+	pc := c.pages[cr]
+	if pc == nil {
+		return Translation{}, &FaultInfo{VMA: v, Page: p}, false
+	}
+	pi := p & (RegionPages - 1)
+	if f := pc.base[pi]; f != memsys.NoFrame {
 		return Translation{Frame: f, Size: Page4K, BaseVA: v.PageVA(p), VMA: v}, nil, true
 	}
-	return Translation{}, &FaultInfo{VMA: v, Page: p, Swapped: v.swap[p]}, false
+	return Translation{}, &FaultInfo{VMA: v, Page: p, Swapped: pc.swapped(pi)}, false
 }
 
 // --- mapping mutators (used by the kernel policy layer) ---------------
@@ -359,47 +496,67 @@ func (as *AddressSpace) Translate(va uint64) (Translation, *FaultInfo, bool) {
 // must have been allocated by the caller; ownership bookkeeping is wired
 // here.
 func (as *AddressSpace) MapBase(v *VMA, p int, f memsys.Frame) {
-	if v.base[p] != memsys.NoFrame || v.huge[p/RegionPages] != memsys.NoFrame {
+	r := p / RegionPages
+	c := v.ensureChunk(r)
+	cr := r & chunkMask
+	pc := v.ensurePages(c, r)
+	pi := p & (RegionPages - 1)
+	if pc.base[pi] != memsys.NoFrame || c.huge[cr] != memsys.NoFrame {
 		panic(check.Failf("vm: MapBase over existing mapping %s page %d", v.Name, p))
 	}
-	if v.swap[p] {
-		v.swap[p] = false
+	if pc.swapped(pi) {
+		pc.clearSwap(pi)
 		as.SwappedOut--
 	}
-	v.base[p] = f
-	v.present4k[p/RegionPages]++
+	pc.base[pi] = f
+	c.present4k[cr]++
 	as.mem.SetOwner(f, as, v.pageCookie(p))
 }
 
 // MapHuge installs huge frame hf as the mapping of region r in v. Any
 // existing 4K mappings within the region must have been removed first.
 func (as *AddressSpace) MapHuge(v *VMA, r int, hf memsys.Frame) {
-	if v.huge[r] != memsys.NoFrame {
+	c := v.ensureChunk(r)
+	cr := r & chunkMask
+	if c.huge[cr] != memsys.NoFrame {
 		panic(check.Failf("vm: MapHuge over existing huge mapping"))
 	}
-	if v.present4k[r] != 0 {
+	if c.present4k[cr] != 0 {
 		panic(check.Failf("vm: MapHuge with 4K pages still present in region"))
 	}
-	lo, hi := r*RegionPages, (r+1)*RegionPages
-	for p := lo; p < hi && p < v.Pages; p++ {
-		if v.swap[p] {
-			v.swap[p] = false
-			as.SwappedOut--
+	if pc := c.pages[cr]; pc != nil {
+		// The region had 4K history: drop its swap copies (the huge
+		// mapping supersedes them) and release the per-page state —
+		// huge-mapped regions carry none.
+		lo := r * RegionPages
+		for i := 0; i < RegionPages && lo+i < v.Pages; i++ {
+			if pc.swapped(i) {
+				pc.clearSwap(i)
+				as.SwappedOut--
+			}
 		}
+		c.pages[cr] = nil
 	}
-	v.huge[r] = hf
+	c.huge[cr] = hf
 	as.mem.SetOwner(hf, as, v.regionCookie(r))
 }
 
 // UnmapBase removes the 4K mapping of page p, returning the frame to the
 // caller (NOT freed). Used by promotion.
 func (as *AddressSpace) UnmapBase(v *VMA, p int) memsys.Frame {
-	f := v.base[p]
-	if f == memsys.NoFrame {
+	r := p / RegionPages
+	c := v.chunkFor(r)
+	var pc *pageChunk
+	if c != nil {
+		pc = c.pages[r&chunkMask]
+	}
+	pi := p & (RegionPages - 1)
+	if pc == nil || pc.base[pi] == memsys.NoFrame {
 		panic(check.Failf("vm: UnmapBase of unmapped page"))
 	}
-	v.base[p] = memsys.NoFrame
-	v.present4k[p/RegionPages]--
+	f := pc.base[pi]
+	pc.base[pi] = memsys.NoFrame
+	c.present4k[r&chunkMask]--
 	as.shoot(v.PageVA(p), Page4K)
 	return f
 }
@@ -408,13 +565,16 @@ func (as *AddressSpace) UnmapBase(v *VMA, p int) memsys.Frame {
 // mappings over the same frames. The physical block is marked split so
 // individual pages become reclaimable/movable.
 func (as *AddressSpace) DemoteHuge(v *VMA, r int) {
-	hf := v.huge[r]
-	if hf == memsys.NoFrame {
+	c := v.chunkFor(r)
+	cr := r & chunkMask
+	if c == nil || c.huge[cr] == memsys.NoFrame {
 		panic(check.Failf("vm: DemoteHuge of non-huge region"))
 	}
-	v.huge[r] = memsys.NoFrame
+	hf := c.huge[cr]
+	c.huge[cr] = memsys.NoFrame
 	as.mem.SplitAllocated(hf, memsys.HugeOrder)
 	as.shoot(v.Base+uint64(r)*memsys.HugeSize, Page2M)
+	pc := v.ensurePages(c, r)
 	lo := r * RegionPages
 	for i := 0; i < RegionPages; i++ {
 		p := lo + i
@@ -425,8 +585,8 @@ func (as *AddressSpace) DemoteHuge(v *VMA, r int) {
 			as.mem.Free(hf+memsys.Frame(i), 0)
 			continue
 		}
-		v.base[p] = hf + memsys.Frame(i)
-		v.present4k[r]++
+		pc.base[i] = hf + memsys.Frame(i)
+		c.present4k[cr]++
 		as.mem.SetOwner(hf+memsys.Frame(i), as, v.pageCookie(p))
 	}
 }
@@ -438,15 +598,22 @@ func (as *AddressSpace) FrameMoved(old, new memsys.Frame, cookie uint64) {
 	if cookie&cookieHuge != 0 {
 		panic(check.Failf("vm: compaction moved a huge page constituent"))
 	}
-	v := as.byID[uint32(cookie>>32)]
+	v := as.byID[uint32(cookie>>cookieIDShift)&uint32(cookieIDMask)]
 	if v == nil {
 		panic(check.Failf("vm: FrameMoved for unknown VMA"))
 	}
-	p := int(uint32(cookie))
-	if v.base[p] != old {
+	p := int(cookie & cookieIndexMask)
+	r := p / RegionPages
+	c := v.chunkFor(r)
+	var pc *pageChunk
+	if c != nil {
+		pc = c.pages[r&chunkMask]
+	}
+	pi := p & (RegionPages - 1)
+	if pc == nil || pc.base[pi] != old {
 		panic(check.Failf("vm: FrameMoved mapping mismatch"))
 	}
-	v.base[p] = new
+	pc.base[pi] = new
 	as.mem.SetOwner(new, as, cookie)
 	as.shoot(v.PageVA(p), Page4K)
 }
@@ -458,29 +625,40 @@ func (as *AddressSpace) FrameMoved(old, new memsys.Frame, cookie uint64) {
 // freshly-split base pages become ordinary reclaim candidates.
 func (as *AddressSpace) FrameReclaimed(f memsys.Frame, cookie uint64) bool {
 	if cookie&cookieHuge != 0 {
-		v := as.byID[uint32(cookie>>32)&0x7FFFFFFF]
+		v := as.byID[uint32(cookie>>cookieIDShift)&uint32(cookieIDMask)]
 		if v == nil {
 			return false
 		}
-		r := int(uint32(cookie))
-		if r >= len(v.huge) || v.huge[r] != f {
+		r := int(cookie & cookieIndexMask)
+		if r >= v.Regions() {
+			return false // stale
+		}
+		c := v.chunkFor(r)
+		if c == nil || c.huge[r&chunkMask] != f {
 			return false // stale
 		}
 		as.DemoteHuge(v, r)
 		as.ReclaimDemotions++
 		return false
 	}
-	v := as.byID[uint32(cookie>>32)]
+	v := as.byID[uint32(cookie>>cookieIDShift)&uint32(cookieIDMask)]
 	if v == nil {
 		return false
 	}
-	p := int(uint32(cookie))
-	if v.base[p] != f {
+	p := int(cookie & cookieIndexMask)
+	r := p / RegionPages
+	c := v.chunkFor(r)
+	var pc *pageChunk
+	if c != nil {
+		pc = c.pages[r&chunkMask]
+	}
+	pi := p & (RegionPages - 1)
+	if pc == nil || pc.base[pi] != f {
 		return false
 	}
-	v.base[p] = memsys.NoFrame
-	v.present4k[p/RegionPages]--
-	v.swap[p] = true
+	pc.base[pi] = memsys.NoFrame
+	c.present4k[r&chunkMask]--
+	pc.setSwap(pi)
 	as.SwappedOut++
 	as.shoot(v.PageVA(p), Page4K)
 	return true

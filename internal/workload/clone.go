@@ -3,14 +3,15 @@ package workload
 import "graphmem/internal/memsys"
 
 // Clone returns a copy of the memhog bound to a cloned physical node,
-// for machine forks: the frame list is deep-copied so compaction on
+// for machine forks: the pin-run set is deep-copied so compaction on
 // either side of the fork updates only its own hog's bookkeeping. The
 // caller passes this clone as the owner remap target for the original
 // hog (see memsys.Memory.Clone).
 func (h *Memhog) Clone(mem *memsys.Memory) *Memhog {
 	return &Memhog{
-		mem:    mem,
-		frames: append([]memsys.Frame(nil), h.frames...),
+		mem:   mem,
+		runs:  append([]pinRun(nil), h.runs...),
+		pages: h.pages,
 	}
 }
 

@@ -76,19 +76,89 @@ func mix64(z uint64) uint64 {
 // may still migrate them. It allocates from the bottom of memory up
 // (page-at-a-time like the real program's sequential touch), so the
 // remaining free memory is whatever the aged system left at the top.
+//
+// The pin set is stored as sorted, disjoint, maximal runs of contiguous
+// frames rather than one entry per page: a hog pinning most of a node
+// holds a handful of runs (the gaps are AgeSystem's litter), so the
+// bookkeeping is a few dozen bytes where a dense frame list would cost
+// 4 B for every pinned page — at paper scale, hundreds of megabytes.
+// The frame cookie is the frame's own number, which is what lets
+// FrameMoved verify membership without a per-page index.
 type Memhog struct {
-	mem    *memsys.Memory
-	frames []memsys.Frame
+	mem   *memsys.Memory
+	runs  []pinRun
+	pages int
+}
+
+// pinRun is one maximal run of contiguous pinned frames,
+// [start, start+n).
+type pinRun struct {
+	start memsys.Frame
+	n     uint32
 }
 
 // FrameMoved implements memsys.Owner: compaction may migrate mlocked
 // pages, and the hog must track where its memory went.
 func (h *Memhog) FrameMoved(old, new memsys.Frame, cookie uint64) {
-	i := int(cookie)
-	if i >= len(h.frames) || h.frames[i] != old {
+	if cookie != uint64(old) || !h.remove(old) {
 		panic(check.Failf("workload: memhog frame bookkeeping out of sync"))
 	}
-	h.frames[i] = new
+	h.insert(new)
+	// Compaction carried the old frame's cookie over to the new frame;
+	// re-key it to the new frame number so the next move verifies.
+	// (Re-registering a Pinned frame does not make it reclaimable.)
+	h.mem.SetOwner(new, h, uint64(new))
+}
+
+// remove deletes frame f from the run set, splitting a run if f is
+// interior. Reports whether f was actually pinned.
+func (h *Memhog) remove(f memsys.Frame) bool {
+	i := sort.Search(len(h.runs), func(i int) bool {
+		return h.runs[i].start+memsys.Frame(h.runs[i].n) > f
+	})
+	if i == len(h.runs) || f < h.runs[i].start {
+		return false
+	}
+	r := &h.runs[i]
+	switch {
+	case r.n == 1:
+		h.runs = append(h.runs[:i], h.runs[i+1:]...)
+	case f == r.start:
+		r.start++
+		r.n--
+	case f == r.start+memsys.Frame(r.n)-1:
+		r.n--
+	default:
+		tail := pinRun{start: f + 1, n: uint32(r.start+memsys.Frame(r.n)-f) - 1}
+		r.n = uint32(f - r.start)
+		h.runs = append(h.runs, pinRun{})
+		copy(h.runs[i+2:], h.runs[i+1:])
+		h.runs[i+1] = tail
+	}
+	h.pages--
+	return true
+}
+
+// insert adds frame f to the run set, coalescing with adjacent runs.
+func (h *Memhog) insert(f memsys.Frame) {
+	i := sort.Search(len(h.runs), func(i int) bool { return h.runs[i].start > f })
+	joinPrev := i > 0 && h.runs[i-1].start+memsys.Frame(h.runs[i-1].n) == f
+	joinNext := i < len(h.runs) && h.runs[i].start == f+1
+	switch {
+	case joinPrev && joinNext:
+		h.runs[i-1].n += 1 + h.runs[i].n
+		h.runs = append(h.runs[:i], h.runs[i+1:]...)
+	case joinPrev:
+		h.runs[i-1].n++
+	case joinNext:
+		h.runs[i].start--
+		h.runs[i].n++
+	default:
+		h.runs = append(h.runs, pinRun{})
+		copy(h.runs[i+1:], h.runs[i:])
+		h.runs[i] = pinRun{start: f, n: 1}
+	}
+	h.pages++
 }
 
 // FrameReclaimed implements memsys.Owner: mlocked memory is never
@@ -96,6 +166,7 @@ func (h *Memhog) FrameMoved(old, new memsys.Frame, cookie uint64) {
 func (h *Memhog) FrameReclaimed(f memsys.Frame, cookie uint64) bool { return false }
 
 var _ memsys.Owner = (*Memhog)(nil)
+var _ memsys.FootprintReporter = (*Memhog)(nil)
 
 // NewMemhog starts a memhog holding the given footprint. Frames are
 // taken in ascending physical address order — the footprint a process
@@ -107,32 +178,47 @@ var _ memsys.Owner = (*Memhog)(nil)
 // memory cannot satisfy the request — a mis-sized experiment.
 func NewMemhog(mem *memsys.Memory, bytes uint64) *Memhog {
 	pages := int(bytes / memsys.PageSize)
-	h := &Memhog{mem: mem, frames: make([]memsys.Frame, 0, pages)}
+	h := &Memhog{mem: mem}
 	total := memsys.Frame(mem.TotalPages())
-	f := memsys.Frame(0)
-	for len(h.frames) < pages && f < total {
-		if mem.AllocAt(f, 0, memsys.Pinned, h, uint64(len(h.frames))) {
-			h.frames = append(h.frames, f)
+	for f := memsys.Frame(0); h.pages < pages && f < total; f++ {
+		if !mem.AllocAt(f, 0, memsys.Pinned, h, uint64(f)) {
+			continue
 		}
-		f++
+		// Ascending scan: the new frame either extends the last run or
+		// starts a new one past a skipped (occupied) gap.
+		if n := len(h.runs); n > 0 && h.runs[n-1].start+memsys.Frame(h.runs[n-1].n) == f {
+			h.runs[n-1].n++
+		} else {
+			h.runs = append(h.runs, pinRun{start: f, n: 1})
+		}
+		h.pages++
 	}
-	if len(h.frames) < pages {
-		panic(check.Failf("workload: memhog pinned only %d/%d pages", len(h.frames), pages))
+	if h.pages < pages {
+		panic(check.Failf("workload: memhog pinned only %d/%d pages", h.pages, pages))
 	}
 	return h
 }
 
 // PinnedBytes returns the held footprint.
 func (h *Memhog) PinnedBytes() uint64 {
-	return uint64(len(h.frames)) * memsys.PageSize
+	return uint64(h.pages) * memsys.PageSize
 }
 
-// Release frees everything the memhog holds.
+// Release frees everything the memhog holds, in ascending frame order.
 func (h *Memhog) Release() {
-	for _, f := range h.frames {
-		h.mem.Free(f, 0)
+	for _, r := range h.runs {
+		for i := memsys.Frame(0); i < memsys.Frame(r.n); i++ {
+			h.mem.Free(r.start+i, 0)
+		}
 	}
-	h.frames = h.frames[:0]
+	h.runs = h.runs[:0]
+	h.pages = 0
+}
+
+// FootprintReport implements memsys.FootprintReporter: the run set's
+// cost versus the dense per-page frame list it replaced.
+func (h *Memhog) FootprintReport() (string, uint64, uint64) {
+	return "workload/memhog", uint64(len(h.runs)) * 8, uint64(h.pages) * 4
 }
 
 // Fragment reproduces the paper's frag utility: allocate 2MB unmovable
@@ -238,7 +324,17 @@ func (pc *PageCache) FrameReclaimed(f memsys.Frame, cookie uint64) bool {
 	return true
 }
 
+// FootprintReport implements memsys.FootprintReporter. The resident-set
+// map is the same representation before and after the frame-metadata
+// compaction, so current and legacy cost coincide (a rough 16 B per
+// entry for key plus bucket overhead).
+func (pc *PageCache) FootprintReport() (string, uint64, uint64) {
+	b := uint64(len(pc.frames)) * 16
+	return "workload/pagecache", b, b
+}
+
 var _ memsys.Owner = (*PageCache)(nil)
+var _ memsys.FootprintReporter = (*PageCache)(nil)
 
 // Churner models a co-running application whose anonymous footprint
 // oscillates over time — the dynamic memory pressure the paper notes is
@@ -273,7 +369,15 @@ func (c *Churner) FrameMoved(old, new memsys.Frame, cookie uint64) {
 // (it would immediately fault it back), so eviction is vetoed.
 func (c *Churner) FrameReclaimed(f memsys.Frame, cookie uint64) bool { return false }
 
+// FootprintReport implements memsys.FootprintReporter; the churner's
+// frame list is unchanged by the compaction, so both costs coincide.
+func (c *Churner) FootprintReport() (string, uint64, uint64) {
+	b := uint64(cap(c.frames)) * 4
+	return "workload/churner", b, b
+}
+
 var _ memsys.Owner = (*Churner)(nil)
+var _ memsys.FootprintReporter = (*Churner)(nil)
 
 // NewChurner creates an idle churner (zero footprint, about to grow).
 func NewChurner(mem *memsys.Memory, maxBytes uint64, stepPages int) *Churner {

@@ -12,7 +12,10 @@
 # wall-clock pair (the same rollout-bearing subset with checkpoint
 # forking on vs GRAPHMEM_NO_SNAPSHOT=1), and the sharded-engine
 # single-run pair (TestShardBringupSpeedup: the kr25 ext-shard cell
-# with fork bring-up vs GRAPHMEM_NO_SHARD=1 replay), then merges the
+# with fork bring-up vs GRAPHMEM_NO_SHARD=1 replay), and the
+# paper-geometry footprint gate (TestFullscaleGeometryGate: the
+# ext-fullscale 128 GB staged cell, recording bytes_per_frame and the
+# stats.Footprint totals and reduction), then merges the
 # figures into BENCH_access.json via cmd/benchjson — updated keys
 # change in place, keys this script does not know about survive — so
 # subsequent PRs have a recorded baseline to compare against.
@@ -99,6 +102,24 @@ fi
 shard_wall=$(awk "BEGIN { printf \"%.2f\", $fork_ms / 1000 }")
 noshard_wall=$(awk "BEGIN { printf \"%.2f\", $replay_ms / 1000 }")
 
+echo "== frame-metadata byte budget (TestFrameInfoSize)" >&2
+go test -run '^TestFrameInfoSize$' -count=1 ./internal/memsys >&2
+bytes_per_frame=8
+
+echo "== paper-geometry footprint (full scale, ext-fullscale cell)" >&2
+fsgate=$(GRAPHMEM_FULLSCALE=1 go test -run '^TestFullscaleGeometryGate$' \
+    -count=1 -v -timeout 900s ./internal/exp)
+echo "$fsgate" >&2
+fs_line=$(echo "$fsgate" | grep footprint_fullscale)
+fs_bytes=$(echo "$fs_line" | sed 's/.*total_bytes=\([0-9]*\).*/\1/')
+fs_legacy=$(echo "$fs_line" | sed 's/.*legacy_bytes=\([0-9]*\).*/\1/')
+fs_reduction=$(echo "$fs_line" | sed 's/.*reduction=\([0-9.]*\).*/\1/')
+fs_wall=$(echo "$fs_line" | sed 's/.*wall_s=\([0-9.]*\).*/\1/')
+if [ -z "$fs_bytes" ] || [ -z "$fs_reduction" ]; then
+    echo "bench.sh: could not parse TestFullscaleGeometryGate output" >&2
+    exit 1
+fi
+
 go run ./cmd/benchjson -file "$out" \
     "microbenchmark=BenchmarkAccess (internal/machine, steady-state fast path)" \
     "ns_per_access=$ns" \
@@ -122,6 +143,12 @@ go run ./cmd/benchjson -file "$out" \
     "shard_single_run=TestShardBringupSpeedup (core.Run of the bench-scale kr25 ext-shard cell at 4 shard workers, fork bring-up vs GRAPHMEM_NO_SHARD=1 replay, min of 3)" \
     "run_shard_wall_seconds=$shard_wall" \
     "run_noshard_wall_seconds=$noshard_wall" \
-    "run_shard_speedup=$shard_speedup"
+    "run_shard_speedup=$shard_speedup" \
+    "footprint=stats.Footprint of the staged ext-fullscale cell (128 GB node, full scale) vs the legacy dense representation" \
+    "bytes_per_frame=$bytes_per_frame" \
+    "footprint_fullscale_bytes=$fs_bytes" \
+    "footprint_fullscale_legacy_bytes=$fs_legacy" \
+    "footprint_fullscale_reduction=$fs_reduction" \
+    "footprint_fullscale_wall_seconds=$fs_wall"
 echo "wrote $out" >&2
 cat "$out"

@@ -42,7 +42,16 @@
 #                       counts, and fork bring-up must cut single-run
 #                       wall-clock by >= 2x (TestShardBringupSpeedup,
 #                       in-process paired timing)
-#  13. docsplice -check
+#  13. frame-metadata budget
+#                       unsafe.Sizeof(frameInfo{}) <= 8 (compile-time
+#                       array assert plus TestFrameInfoSize), and the
+#                       packed/unpacked differential property test
+#  14. paper-geometry gate
+#                       the ext-fullscale cell stages a >= 100 GB node,
+#                       finishes inside its wall/host-memory budgets,
+#                       and the compact metadata shows >= 2x footprint
+#                       reduction (TestFullscaleGeometryGate)
+#  15. docsplice -check
 #                       EXPERIMENTS.md's measured blocks match results/
 #
 # Run from the repository root: ./scripts/ci.sh
@@ -169,6 +178,13 @@ diff -r "$tmp/csvh1" "$tmp/csvnh"
 # a whole-campaign subprocess wall-clock would fold dataset generation
 # and sibling cells into both sides and drown the margin in host noise.
 GRAPHMEM_SPEEDUP_GATE=1 go test -run '^TestShardBringupSpeedup$' -count=1 -v ./internal/exp
+
+echo "== frame-metadata budget: 8 bytes per frame, packed == unpacked"
+go test -run 'TestFrameInfoSize|TestFrameInfoPackRoundTrip' -count=1 ./internal/memsys
+go test -run '^TestPackedFrameInfoDifferential$' -count=1 ./internal/machine
+
+echo "== paper-geometry gate: ext-fullscale wall/footprint/host-memory budgets"
+GRAPHMEM_FULLSCALE=1 go test -run '^TestFullscaleGeometryGate$' -count=1 -v -timeout 900s ./internal/exp
 
 echo "== docsplice -check (EXPERIMENTS.md in sync with results/)"
 go run ./cmd/docsplice -doc EXPERIMENTS.md -results results/expdriver_full.txt -check
