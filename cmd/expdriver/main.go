@@ -5,7 +5,8 @@
 // Usage:
 //
 //	expdriver [-scale full|bench|test] [-exp fig1,fig10,...] [-j N] [-shards N]
-//	          [-out results.md] [-v] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	          [-ckpt-dir DIR] [-out results.md] [-v]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -j runs the campaign's simulation cells on N workers (0 = all CPUs).
 // Parallelism changes wall-clock time only: stdout, the markdown file,
@@ -22,6 +23,15 @@
 // which shard counts are *modeled* is fixed by the experiments
 // (core.RunSpec.Shards) — so output stays byte-identical for every
 // -shards value (DESIGN.md §5c).
+//
+// -ckpt-dir backs the campaign's checkpoint cache with a persistent
+// content-addressed store in that directory (DESIGN.md §5e): load
+// phases staged by earlier invocations are reloaded from disk instead
+// of replayed, and fresh stagings are saved for later ones. Like -j and
+// -shards it is an execution knob — forks from a loaded machine are
+// byte-identical to forks from a staged one, which CI's reload gate
+// diffs — so output is unchanged whether the store is cold, warm, or
+// absent.
 //
 // A full-scale run of all experiments takes tens of minutes on one core;
 // -scale bench completes in a few minutes at reduced fidelity.
@@ -49,6 +59,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	workers := flag.Int("j", 1, "parallel simulation workers (0 = all CPUs)")
 	shardWorkers := flag.Int("shards", 0, "worker goroutines per sharded cell (0 = all CPUs); execution-only, output is identical for every value")
+	ckptDir := flag.String("ckpt-dir", "", "persistent checkpoint store directory (created if missing); execution-only, output is identical with a cold, warm, or absent store")
 	verbose := flag.Bool("v", false, "log per-worker progress for each simulation cell")
 	listOnly := flag.Bool("list", false, "list experiments and exit")
 	footprint := flag.Bool("footprint", false, "stage the ext-fullscale cell at the chosen scale, print the simulator footprint report, and exit")
@@ -86,7 +97,11 @@ func main() {
 
 	if *listOnly {
 		for _, e := range exp.Registry {
-			fmt.Printf("%-10s %-8s %s\n", e.ID, e.Paper, e.Desc)
+			caps := e.Caps
+			if caps == "" {
+				caps = "-"
+			}
+			fmt.Printf("%-14s %-13s %-40s %s\n", e.ID, e.Paper, caps, e.Desc)
 		}
 		return
 	}
@@ -124,6 +139,13 @@ func main() {
 	}
 	s := exp.NewSuite(sc, log)
 	s.PRMaxIters = *priters
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
+			os.Exit(1)
+		}
+		s.CkptDir = *ckptDir
+	}
 
 	if *footprint {
 		fp, ok := s.FullscaleFootprint()

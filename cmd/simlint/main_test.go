@@ -43,7 +43,7 @@ func TestRulesListing(t *testing.T) {
 	if code := run([]string{"-rules"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, id := range []string{"SL000", "SL001", "SL010", "SL011", "SL012", "SL013", "SL014"} {
+	for _, id := range []string{"SL000", "SL001", "SL010", "SL011", "SL012", "SL013", "SL014", "SL015"} {
 		if !strings.Contains(stdout.String(), id) {
 			t.Errorf("-rules output missing %s", id)
 		}

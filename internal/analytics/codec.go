@@ -1,0 +1,113 @@
+package analytics
+
+import (
+	"graphmem/internal/ckpt"
+	"graphmem/internal/graph"
+	"graphmem/internal/machine"
+	"graphmem/internal/vm"
+)
+
+// Checkpoint codec (DESIGN.md §5e). The image's array state lives
+// entirely in the machine (the VMAs and their mapped pages); the image
+// itself is bindings plus the init flag. VMAs are referenced by base
+// address (0 = absent) and resolved against the loaded machine's
+// address space; the graph is NOT serialized — it is immutable input,
+// re-derived from the experiment spec by the caller, and Decode
+// cross-checks every array's extent against it so an image can never be
+// attached to the wrong graph.
+
+func encodeVMARef(e *ckpt.Encoder, v *vm.VMA) {
+	if v == nil {
+		e.U64(0)
+		return
+	}
+	e.U64(v.Base)
+}
+
+func decodeVMARef(d *ckpt.Decoder, space *vm.AddressSpace, name string) *vm.VMA {
+	base := d.U64()
+	if base == 0 {
+		return nil
+	}
+	v := space.FindVMA(base)
+	if v == nil || v.Base != base {
+		d.Failf("analytics: image array %q names no VMA at %#x", name, base)
+		return nil
+	}
+	return v
+}
+
+// Initialized reports whether the image's init phase has run — a
+// checkpointed image always has; loaders reject one that claims
+// otherwise rather than letting Run panic later.
+func (img *Image) Initialized() bool { return img.initialized }
+
+// Encode serializes the image's own state. The machine and graph
+// bindings are supplied by the caller on decode.
+func (img *Image) Encode(e *ckpt.Encoder) {
+	_ = img.G // immutable input; re-derived from the spec on load
+	_ = img.M // binding; the loaded image is handed its decoded machine
+	e.String(string(img.App))
+	encodeVMARef(e, img.Vertex)
+	encodeVMARef(e, img.Edge)
+	encodeVMARef(e, img.Values)
+	encodeVMARef(e, img.Prop)
+	encodeVMARef(e, img.Work)
+	encodeVMARef(e, img.Misc)
+	e.Bool(img.initialized)
+	_ = img.gbuf // per-vertex gather scratch, dead between accesses
+}
+
+// Decode is Encode's inverse, into a fresh receiver bound to the
+// caller's decoded machine and re-derived graph. On any decoder error
+// the receiver must be discarded.
+func (img *Image) Decode(d *ckpt.Decoder, m *machine.Machine, g *graph.Graph) {
+	img.M = m
+	img.G = g
+	img.App = App(d.String())
+	img.Vertex = decodeVMARef(d, m.Space, "vertex")
+	img.Edge = decodeVMARef(d, m.Space, "edge")
+	img.Values = decodeVMARef(d, m.Space, "values")
+	img.Prop = decodeVMARef(d, m.Space, "prop")
+	img.Work = decodeVMARef(d, m.Space, "worklist")
+	img.Misc = decodeVMARef(d, m.Space, "process")
+	img.initialized = d.Bool()
+	img.gbuf = make([]uint64, 0, 256)
+	if d.Err() != nil {
+		return
+	}
+	switch img.App {
+	case BFS, SSSP, PR, CC, BC:
+	default:
+		d.Failf("analytics: unknown app %q", img.App)
+		return
+	}
+	// The address helpers index these VMAs straight from graph extents;
+	// every array must exist exactly when NewImage would create it and
+	// span exactly what the graph needs.
+	check := func(v *vm.VMA, name string, want uint64) {
+		if want == 0 {
+			if v != nil {
+				d.Failf("analytics: image carries a %q array the app does not use", name)
+			}
+			return
+		}
+		if v == nil {
+			d.Failf("analytics: image is missing its %q array", name)
+			return
+		}
+		if v.Bytes != want {
+			d.Failf("analytics: %q array spans %d bytes, graph needs %d", name, v.Bytes, want)
+		}
+	}
+	check(img.Vertex, "vertex", uint64(len(g.Offsets))*graph.VertexEntryBytes)
+	check(img.Edge, "edge", uint64(g.NumEdges())*graph.EdgeEntryBytes)
+	valBytes := uint64(0)
+	if img.App == SSSP {
+		valBytes = uint64(g.NumEdges()) * graph.ValueEntryBytes
+	}
+	check(img.Values, "values", valBytes)
+	check(img.Prop, "prop", uint64(g.N)*PropEntryBytes(img.App))
+	check(img.Work, "worklist", WorklistBytes(img.App, g.N))
+	check(img.Misc, "process", MiscBytes)
+}

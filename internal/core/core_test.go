@@ -16,7 +16,7 @@ import (
 
 // quickSpec builds a fast small-scale spec (scaled TLB so capacity
 // effects still appear).
-func quickSpec(t *testing.T, app analytics.App, p core.Policy, env core.Environment) core.RunSpec {
+func quickSpec(t testing.TB, app analytics.App, p core.Policy, env core.Environment) core.RunSpec {
 	t.Helper()
 	model := cost.Fast()
 	return core.RunSpec{

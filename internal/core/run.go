@@ -230,8 +230,14 @@ type prepared struct {
 	cuts []uint32
 }
 
-// prepare executes everything up to (and including) the init phase.
-func prepare(spec RunSpec) (*prepared, error) {
+// stage computes everything prepare derives before a machine exists:
+// spec normalization (hardware defaults), preprocessing (reordering and
+// shard partitioning, with their charged cycles), the working-set size
+// and the node size. It is pure — no simulator state, no randomness —
+// which is what lets LoadCheckpoint re-derive this half of a prepared
+// run from the spec and splice the serialized machine underneath it
+// (persist.go).
+func stage(spec RunSpec) (*prepared, error) {
 	if spec.Graph == nil {
 		return nil, fmt.Errorf("core: RunSpec.Graph is nil")
 	}
@@ -245,6 +251,7 @@ func prepare(spec RunSpec) (*prepared, error) {
 	if spec.Cost != nil {
 		model = *spec.Cost
 	}
+	spec.Cost = &model
 
 	// Preprocessing (reordering) happens before the machine exists:
 	// the paper performs it "separately in order to not interfere with
@@ -290,6 +297,25 @@ func prepare(spec RunSpec) (*prepared, error) {
 			memBytes = minMem
 		}
 	}
+	return &prepared{
+		spec:      spec,
+		g:         g,
+		wss:       wss,
+		memBytes:  memBytes,
+		preCycles: preCycles,
+		cuts:      cuts,
+	}, nil
+}
+
+// prepare executes everything up to (and including) the init phase.
+func prepare(spec RunSpec) (*prepared, error) {
+	p, err := stage(spec)
+	if err != nil {
+		return nil, err
+	}
+	spec = p.spec
+	g, wss, memBytes := p.g, p.wss, p.memBytes
+	model := *spec.Cost
 
 	kcfg := spec.Policy.kernelConfig()
 	if spec.Policy.HugetlbProp && spec.Policy.PropPercent > 0 {
@@ -356,16 +382,8 @@ func prepare(spec RunSpec) (*prepared, error) {
 	}
 	applyAdvice(img, spec.Policy)
 
-	p := &prepared{
-		spec:      spec,
-		g:         g,
-		wss:       wss,
-		memBytes:  memBytes,
-		preCycles: preCycles,
-		m:         m,
-		img:       img,
-		cuts:      cuts,
-	}
+	p.m = m
+	p.img = img
 	if spec.SampleSupplyEvery > 0 {
 		m.AddTicker(spec.SampleSupplyEvery, func(now uint64) {
 			_, edgeHuge := img.Edge.MappedBytes()

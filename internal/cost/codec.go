@@ -1,0 +1,48 @@
+package cost
+
+import "graphmem/internal/ckpt"
+
+// Encode serializes the cost model (DESIGN.md §5e). The model is part
+// of the checkpoint image rather than re-derived from the spec so that
+// a loaded machine charges exactly the cycles the staged one would
+// have — the serialization-is-determinism contract of MODEL.md §7.
+func (m *Model) Encode(e *ckpt.Encoder) {
+	e.U64(m.L1DHit)
+	e.U64(m.LLCHit)
+	e.U64(m.DRAM)
+	e.U64(m.Compute)
+	e.U64(m.STLBHit)
+	e.U64(m.WalkLevel)
+	e.U64(m.WalkLevelPWC)
+	e.U64(m.MinorFault4K)
+	e.U64(m.MinorFault2M)
+	e.U64(m.CompactPerPage)
+	e.U64(m.ReclaimPerPage)
+	e.U64(m.PromotionCopy)
+	e.U64(m.DemotionFixed)
+	e.U64(m.SwapInPage)
+	e.U64(m.SwapOutPage)
+	e.U64(m.PreprocPerVertex)
+	e.U64(m.PreprocPerEdge)
+}
+
+// Decode is Encode's inverse.
+func (m *Model) Decode(d *ckpt.Decoder) {
+	m.L1DHit = d.U64()
+	m.LLCHit = d.U64()
+	m.DRAM = d.U64()
+	m.Compute = d.U64()
+	m.STLBHit = d.U64()
+	m.WalkLevel = d.U64()
+	m.WalkLevelPWC = d.U64()
+	m.MinorFault4K = d.U64()
+	m.MinorFault2M = d.U64()
+	m.CompactPerPage = d.U64()
+	m.ReclaimPerPage = d.U64()
+	m.PromotionCopy = d.U64()
+	m.DemotionFixed = d.U64()
+	m.SwapInPage = d.U64()
+	m.SwapOutPage = d.U64()
+	m.PreprocPerVertex = d.U64()
+	m.PreprocPerEdge = d.U64()
+}

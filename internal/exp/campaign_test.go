@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"graphmem/internal/analytics"
+	"graphmem/internal/core"
 	"graphmem/internal/gen"
 	"graphmem/internal/reorder"
 )
@@ -190,6 +191,59 @@ func sortedKeys(m map[string]bool) []string {
 	}
 	sort.Strings(ks)
 	return ks
+}
+
+// TestCapsMatchCells proves every registry entry's advertised capability
+// list (what expdriver -list prints) is derived from, not asserted over,
+// its declared cells: snapshot-forkable iff some cell's spec passes
+// core.SnapshotSafe, sharded iff some cell runs more than one shard, and
+// full-scale-gated reserved for the experiment the CI fullscale gate
+// wraps. Experiments without declarable cells may still claim
+// snapshot-forkable when they fork checkpoints outside the cell space
+// (ext-rollout), but never sharded or full-scale-gated.
+func TestCapsMatchCells(t *testing.T) {
+	known := map[string]bool{CapSnapshot: true, CapSharded: true, CapFullScale: true}
+	for _, e := range Registry {
+		t.Run(e.ID, func(t *testing.T) {
+			caps := make(map[string]bool)
+			if e.Caps != "" {
+				for _, c := range strings.Split(e.Caps, ",") {
+					if !known[c] {
+						t.Errorf("unknown capability %q", c)
+					}
+					if caps[c] {
+						t.Errorf("duplicate capability %q", c)
+					}
+					caps[c] = true
+				}
+			}
+			if caps[CapFullScale] != (e.ID == "ext-fullscale") {
+				t.Errorf("full-scale-gated = %v, want it on ext-fullscale only", caps[CapFullScale])
+			}
+			if e.Cells == nil {
+				if caps[CapSharded] {
+					t.Error("sharded capability without declarable cells")
+				}
+				return
+			}
+			s := testSuite()
+			var snapshot, sharded bool
+			for _, c := range e.Cells(s) {
+				if core.SnapshotSafe(s.spec(c)) {
+					snapshot = true
+				}
+				if c.shards > 1 {
+					sharded = true
+				}
+			}
+			if caps[CapSnapshot] != snapshot {
+				t.Errorf("snapshot-forkable = %v, but cells derive %v", caps[CapSnapshot], snapshot)
+			}
+			if caps[CapSharded] != sharded {
+				t.Errorf("sharded = %v, but cells derive %v", caps[CapSharded], sharded)
+			}
+		})
+	}
 }
 
 // TestCellsMatchRuns proves every experiment's declared frontier equals

@@ -10,28 +10,32 @@ import (
 	"graphmem/internal/stats"
 )
 
-// The ext-fullscale experiment stages one cell at the paper's node
-// geometry: a ≥100 GB physical node with memhog pinning everything
-// beyond WSS+Δ, the kernel phase sharded. Where ext-shard studies
+// The ext-fullscale experiment is a small campaign at the paper's node
+// geometry: {Kron25, Twit} × {BFS, PR} × {THP always, 4KB baseline},
+// each cell a ≥100 GB physical node with memhog pinning everything
+// beyond WSS+Δ and the kernel phase sharded. Where ext-shard studies
 // modeled intra-run scaling across all datasets on a mid-size node,
 // ext-fullscale exists to prove the simulator itself survives true
-// scale — tens of millions of frames of metadata, a terabyte-order
-// address-space budget — which is exactly what the compact frame
-// metadata and sparse VM chunking pay for. The table reports the
-// modeled kernel numbers plus the stats.Footprint totals of the staged
-// machine; the env-gated CI test (GRAPHMEM_FULLSCALE=1) asserts the
-// wall-clock, RSS, and ≥2× footprint-reduction budgets on top.
+// scale — tens of millions of frames of metadata per node, a
+// terabyte-order address-space budget across the campaign — which is
+// exactly what the compact frame metadata, sparse VM chunking, and the
+// persistent checkpoint store pay for: with -ckpt-dir set, repeated
+// campaigns reload each staged node instead of re-faulting 100 GB+ of
+// state. The table reports the modeled kernel numbers per cell plus the
+// flagship cell's stats.Footprint totals; the env-gated CI test
+// (GRAPHMEM_FULLSCALE=1) asserts wall-clock, RSS, and ≥2× footprint-
+// reduction budgets on top.
 
-// fullscaleShards is the shard count of the fullscale cell. Eight keeps
-// shard forks of a paper-geometry node within a few GB of host RSS
-// while still exercising the sharded bring-up path at scale.
+// fullscaleShards is the shard count of every fullscale cell. Eight
+// keeps shard forks of a paper-geometry node within a few GB of host
+// RSS while still exercising the sharded bring-up path at scale.
 const fullscaleShards = 8
 
-// fullscaleNodeBytes is the modeled node memory of the ext-fullscale
+// fullscaleNodeBytes is the modeled node memory of each ext-fullscale
 // cell: the paper's evaluation machine holds hundreds of GB, so the
-// full-scale cell stages 128 GB. The bench and test scales shrink it so
-// the experiment stays cheap enough for routine campaigns while running
-// the same staging code.
+// full-scale cells stage 128 GB each. The bench and test scales shrink
+// it so the experiment stays cheap enough for routine campaigns while
+// running the same staging code.
 func (s *Suite) fullscaleNodeBytes() uint64 {
 	switch s.Scale {
 	case gen.ScaleFull:
@@ -43,24 +47,46 @@ func (s *Suite) fullscaleNodeBytes() uint64 {
 	}
 }
 
-// fullscaleCfg names the single ext-fullscale cell: pressured BFS on
-// the paper-geometry node with the kernel phase sharded.
-func (s *Suite) fullscaleCfg() runCfg {
-	env := s.envPressured(analytics.BFS, gen.Kron25, highPressureGB)
+// fullscaleCell names one cell of the paper-geometry campaign: the
+// given kernel and dataset, pressured, on the big node, sharded.
+func (s *Suite) fullscaleCell(app analytics.App, ds gen.Dataset, pol core.Policy) runCfg {
+	env := s.envPressured(app, ds, highPressureGB)
 	env.MemoryBytes = s.fullscaleNodeBytes()
 	return runCfg{
-		app: analytics.BFS, ds: gen.Kron25, method: reorder.Identity,
-		order: analytics.Natural, policy: core.THPAlways(),
+		app: app, ds: ds, method: reorder.Identity,
+		order: analytics.Natural, policy: pol,
 		env:    env,
 		shards: fullscaleShards,
 	}
 }
 
-func (s *Suite) fullscaleCells() []runCfg {
-	return []runCfg{s.fullscaleCfg()}
+// fullscaleCfg is the campaign's flagship cell (BFS on Kron25 under
+// THP), whose staged machine the footprint report and the CI budgets
+// introspect. It leads fullscaleCells so a sequential campaign stages
+// it first.
+func (s *Suite) fullscaleCfg() runCfg {
+	return s.fullscaleCell(analytics.BFS, gen.Kron25, core.THPAlways())
 }
 
-// FullscaleFootprint stages (or recalls) the fullscale cell's load
+// fullscaleCells declares the campaign grid, flagship first, then the
+// remaining dataset × kernel × policy combinations in table order.
+func (s *Suite) fullscaleCells() []runCfg {
+	cells := []runCfg{s.fullscaleCfg()}
+	for _, ds := range []gen.Dataset{gen.Kron25, gen.Twit} {
+		for _, app := range []analytics.App{analytics.BFS, analytics.PR} {
+			for _, pol := range []core.Policy{core.THPAlways(), core.Base4K()} {
+				c := s.fullscaleCell(app, ds, pol)
+				if c.key() == cells[0].key() {
+					continue
+				}
+				cells = append(cells, c)
+			}
+		}
+	}
+	return cells
+}
+
+// FullscaleFootprint stages (or recalls) the flagship cell's load
 // phase and returns the frozen machine's simulator-footprint report.
 // ok is false when GRAPHMEM_NO_SNAPSHOT is set — there is no resident
 // machine to introspect then.
@@ -72,29 +98,41 @@ func (s *Suite) FullscaleFootprint() (stats.Footprint, bool) {
 	return s.checkpoint(c.initKey(), s.spec(c)).Footprint()
 }
 
-// Fullscale renders the paper-geometry cell: node geometry and modeled
-// kernel numbers, then the staged machine's per-subsystem simulator
-// footprint. Footprint bytes are a pure function of the staged machine
-// state, so the table is as byte-stable across worker counts as every
-// other experiment's.
+// Fullscale renders the paper-geometry campaign: per-cell node geometry
+// and modeled kernel numbers, then the flagship machine's per-subsystem
+// simulator footprint. Footprint bytes are a pure function of the
+// staged machine state, so the tables are as byte-stable across worker
+// counts as every other experiment's.
 func (s *Suite) Fullscale() []*stats.Table {
-	c := s.fullscaleCfg()
-	r := s.run(c)
 	t := stats.NewTable(
-		fmt.Sprintf("Extension: paper-geometry node (%d MB staged, %d-shard BFS kernel)",
+		fmt.Sprintf("Extension: paper-geometry campaign (%d MB nodes, %d-shard kernels)",
 			s.fullscaleNodeBytes()>>20, fullscaleShards),
-		"dataset", "node-mb", "shards", "makespan", "serial-sum", "scale-x")
-	var sum uint64
-	for _, kc := range r.ShardKernelCycles {
-		sum += kc
+		"kernel", "dataset", "policy", "makespan", "serial-sum", "scale-x", "speedup")
+	cells := s.fullscaleCells()
+	results := make([]*core.RunResult, len(cells))
+	base := make(map[string]uint64)
+	for i, c := range cells {
+		results[i] = s.run(c)
+		if c.policy.Name == core.Base4K().Name {
+			base[string(c.app)+"|"+string(c.ds)] = results[i].TotalCycles
+		}
 	}
-	t.AddRow(string(gen.Kron25),
-		fmt.Sprint(s.fullscaleNodeBytes()>>20),
-		fmt.Sprint(fullscaleShards),
-		fmt.Sprint(r.KernelCycles),
-		fmt.Sprint(sum),
-		stats.F(float64(sum)/float64(r.KernelCycles), 3))
-
+	for i, c := range cells {
+		r := results[i]
+		var sum uint64
+		for _, kc := range r.ShardKernelCycles {
+			sum += kc
+		}
+		speedup := "-"
+		if b := base[string(c.app)+"|"+string(c.ds)]; b != 0 && c.policy.Name != core.Base4K().Name {
+			speedup = stats.F(float64(b)/float64(r.TotalCycles), 3)
+		}
+		t.AddRow(string(c.app), string(c.ds), c.policy.Name,
+			fmt.Sprint(r.KernelCycles),
+			fmt.Sprint(sum),
+			stats.F(float64(sum)/float64(r.KernelCycles), 3),
+			speedup)
+	}
 	tables := []*stats.Table{t}
 	if fp, ok := s.FullscaleFootprint(); ok {
 		tables = append(tables, fp.Table())

@@ -6,37 +6,67 @@ import (
 	"testing"
 	"time"
 
+	"graphmem/internal/analytics"
 	"graphmem/internal/gen"
 )
 
 // TestFullscaleGeometryGate is the paper-geometry CI gate: the
-// ext-fullscale cell must stage a ≥100 GB node, run its sharded kernel
+// ext-fullscale campaign must stage its {Kron25, Twit} × {BFS, PR} ×
+// {THP, 4KB} grid of ≥100 GB nodes, run every sharded kernel
 // end-to-end inside a wall-clock budget, keep the whole process inside
 // a host-memory budget, and show the frame-metadata/VM compaction
 // delivering at least a 2x reduction in simulator bytes against the
-// legacy dense representation.
+// legacy dense representation on the flagship node.
 //
-// Budgets are deliberately loose multiples of the measured figures
-// (~40 s wall, ~2.3x reduction, ~3 GB heap on the reference host):
+// Budgets are deliberately loose multiples of the measured figures:
 // they exist to catch regressions back to dense metadata — which would
 // roughly double memsys bytes and blow the reduction floor — not to
 // benchmark the host. Wall-clock assertions are meaningless under
 // -race or on an arbitrarily loaded machine, so the test skips unless
 // GRAPHMEM_FULLSCALE is set; ci.sh and bench.sh opt in.
+//
+// When GRAPHMEM_CKPT_DIR is also set, the campaign backs its
+// checkpoint cache with the persistent store there, so repeated gate
+// runs (CI repetitions, bench.sh after ci.sh) reload the staged nodes
+// from disk instead of re-faulting 100 GB+ of state per node — ci.sh
+// step 14 points both repetitions at one store directory.
 func TestFullscaleGeometryGate(t *testing.T) {
 	if os.Getenv("GRAPHMEM_FULLSCALE") == "" {
 		t.Skip("set GRAPHMEM_FULLSCALE=1 to run the paper-geometry gate (ci.sh)")
 	}
 	s := NewSuite(gen.ScaleFull, nil)
+	s.CkptDir = os.Getenv("GRAPHMEM_CKPT_DIR")
 	if node := s.fullscaleNodeBytes(); node < 100<<30 {
 		t.Fatalf("full-scale node is %d bytes, want >= 100 GB of staged geometry", node)
+	}
+
+	// The declared grid must stay a real campaign: at least two
+	// datasets, two kernels, and two policies at full geometry.
+	apps := make(map[analytics.App]bool)
+	dss := make(map[gen.Dataset]bool)
+	pols := make(map[string]bool)
+	cells := s.fullscaleCells()
+	for _, c := range cells {
+		apps[c.app] = true
+		dss[c.ds] = true
+		pols[c.policy.Name] = true
+		if c.shards <= 1 {
+			t.Errorf("cell %s is not sharded", c.label())
+		}
+	}
+	if len(apps) < 2 || len(dss) < 2 || len(pols) < 2 {
+		t.Fatalf("campaign grid is %d kernels x %d datasets x %d policies, want >= 2 of each",
+			len(apps), len(dss), len(pols))
 	}
 
 	start := time.Now()
 	tables := s.Fullscale()
 	wall := time.Since(start)
 	if len(tables) < 2 {
-		t.Fatalf("Fullscale rendered %d tables, want kernel + footprint", len(tables))
+		t.Fatalf("Fullscale rendered %d tables, want kernel campaign + footprint", len(tables))
+	}
+	if rows := len(tables[0].Rows); rows != len(cells) {
+		t.Errorf("campaign table has %d rows, want %d (one per cell)", rows, len(cells))
 	}
 
 	fp, ok := s.FullscaleFootprint()
@@ -51,13 +81,22 @@ func TestFullscaleGeometryGate(t *testing.T) {
 		fp.TotalBytes(), fp.LegacyBytes(), fp.Reduction(), fp.BytesPerSimGB(),
 		wall.Seconds(), float64(ms.Sys)/(1<<20))
 
-	if wall > 10*time.Minute {
-		t.Errorf("paper-geometry cell took %v, budget 10m", wall)
+	// A cold run stages all eight 128 GB nodes (~9.5 min measured); a
+	// warm run reloads them from GRAPHMEM_CKPT_DIR in a fraction of
+	// that. The budget covers the cold case with headroom for a loaded
+	// host — it catches order-of-magnitude staging regressions, not
+	// few-percent drift.
+	if wall > 15*time.Minute {
+		t.Errorf("paper-geometry campaign took %v, budget 15m", wall)
 	}
 	if red := fp.Reduction(); red < 2.0 {
 		t.Errorf("footprint reduction %.2fx, want >= 2x vs the legacy dense representation", red)
 	}
-	if budget := uint64(10 << 30); ms.Sys > budget {
+	// Eight resident 128 GB-geometry nodes measure ~9.3 GB staged cold
+	// and ~10.0 GB reloaded warm (the loader's decode buffers retire a
+	// little later). A dense-metadata regression adds ~0.4 GB per node
+	// (+3.2 GB for the campaign), which still blows this budget.
+	if budget := uint64(12 << 30); ms.Sys > budget {
 		t.Errorf("process took %d bytes from the OS, budget %d", ms.Sys, budget)
 	}
 }

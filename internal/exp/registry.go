@@ -29,34 +29,50 @@ type Experiment struct {
 	// Run requests — TestCellsMatchRuns enforces the equality, which is
 	// also what makes run counts independent of the worker count.
 	Cells func(*Suite) []runCfg
+
+	// Caps is a comma-separated capability list shown by expdriver
+	// -list. CapSnapshot marks experiments whose cells take the
+	// checkpoint/fork path (and so benefit from -ckpt-dir); CapSharded
+	// marks cells running the sharded machine engine; CapFullScale
+	// marks the experiment whose full-geometry budgets are gated behind
+	// GRAPHMEM_FULLSCALE=1 in CI. TestCapsMatchCells derives the first
+	// two from each experiment's declared cells.
+	Caps string
 }
+
+// Capability labels used in Experiment.Caps.
+const (
+	CapSnapshot  = "snapshot-forkable"
+	CapSharded   = "sharded"
+	CapFullScale = "full-scale-gated"
+)
 
 // Registry lists every experiment in presentation order.
 var Registry = []Experiment{
-	{"table1", "Table 1", "simulated system parameters", (*Suite).Table1, nil},
-	{"table2", "Table 2", "applications and inputs", (*Suite).Table2, nil},
-	{"fig1", "Fig. 1", "THP speedup: fresh boot vs memory pressure", (*Suite).Fig1, (*Suite).fig1Cells},
-	{"fig2", "Fig. 2", "address translation overhead share", (*Suite).Fig2, (*Suite).fig2Cells},
-	{"fig3", "Fig. 3", "TLB miss rates, 4KB vs THP", (*Suite).Fig3, (*Suite).fig2Cells},
-	{"fig4", "Fig. 4", "per-data-structure access breakdown", (*Suite).Fig4, (*Suite).fig4Cells},
-	{"fig5", "Fig. 5", "per-structure madvise THP speedups (BFS)", (*Suite).Fig5, (*Suite).fig5Cells},
-	{"fig6", "Fig. 6", "huge page supply timeline during initialization", (*Suite).Fig6, (*Suite).fig6Cells},
-	{"fig7", "Fig. 7", "high pressure: natural vs optimized allocation order", (*Suite).Fig7, (*Suite).fig7Cells},
-	{"sweep", "§4.3.1", "memory pressure sweep incl. oversubscription", (*Suite).PressureSweep, (*Suite).sweepCells},
-	{"fig8", "Fig. 8", "50% fragmentation: natural vs optimized order", (*Suite).Fig8, (*Suite).fig8Cells},
-	{"fig9", "Fig. 9", "fragmentation level sweep (BFS)", (*Suite).Fig9, (*Suite).fig9Cells},
-	{"fig10", "Fig. 10", "DBG + selective THP under pressure+frag", (*Suite).Fig10, (*Suite).fig10Cells},
-	{"fig11", "Fig. 11", "selective THP sensitivity sweep (BFS)", (*Suite).Fig11, (*Suite).fig11Cells},
-	{"dbg", "§5.1.2", "DBG preprocessing overhead", (*Suite).DBGOverhead, (*Suite).dbgCells},
-	{"headline", "Abstract", "headline metrics vs the paper's ranges", (*Suite).Headline, (*Suite).headlineCells},
-	{"pagecache", "§4.3", "page cache single-use memory interference", (*Suite).PageCache, (*Suite).pagecacheCells},
-	{"ext-baselines", "Related work", "Ingens/HawkEye-style engines vs selective THP", (*Suite).Baselines, (*Suite).baselinesCells},
-	{"ext-auto", "§7 future work", "automatic profile-guided madvise plans", (*Suite).AutoSelective, (*Suite).autoSelectiveCells},
-	{"ext-cc", "§3.2", "Connected Components extension workload", (*Suite).CCWorkload, (*Suite).ccCells},
-	{"ext-grid", "control", "road-network negative control", (*Suite).GridControl, nil},
-	{"ext-rollout", "§7 future work", "online policy rollout via checkpoint forks", (*Suite).Rollout, nil},
-	{"ext-shard", "§6 scaling", "sharded machine engine: modeled intra-run scaling", (*Suite).ShardScaling, (*Suite).shardCells},
-	{"ext-fullscale", "§4 geometry", "paper-geometry staged node: footprint & sharded kernel at true scale", (*Suite).Fullscale, (*Suite).fullscaleCells},
+	{"table1", "Table 1", "simulated system parameters", (*Suite).Table1, nil, ""},
+	{"table2", "Table 2", "applications and inputs", (*Suite).Table2, nil, ""},
+	{"fig1", "Fig. 1", "THP speedup: fresh boot vs memory pressure", (*Suite).Fig1, (*Suite).fig1Cells, CapSnapshot},
+	{"fig2", "Fig. 2", "address translation overhead share", (*Suite).Fig2, (*Suite).fig2Cells, CapSnapshot},
+	{"fig3", "Fig. 3", "TLB miss rates, 4KB vs THP", (*Suite).Fig3, (*Suite).fig2Cells, CapSnapshot},
+	{"fig4", "Fig. 4", "per-data-structure access breakdown", (*Suite).Fig4, (*Suite).fig4Cells, CapSnapshot},
+	{"fig5", "Fig. 5", "per-structure madvise THP speedups (BFS)", (*Suite).Fig5, (*Suite).fig5Cells, CapSnapshot},
+	{"fig6", "Fig. 6", "huge page supply timeline during initialization", (*Suite).Fig6, (*Suite).fig6Cells, ""},
+	{"fig7", "Fig. 7", "high pressure: natural vs optimized allocation order", (*Suite).Fig7, (*Suite).fig7Cells, CapSnapshot},
+	{"sweep", "§4.3.1", "memory pressure sweep incl. oversubscription", (*Suite).PressureSweep, (*Suite).sweepCells, CapSnapshot},
+	{"fig8", "Fig. 8", "50% fragmentation: natural vs optimized order", (*Suite).Fig8, (*Suite).fig8Cells, CapSnapshot},
+	{"fig9", "Fig. 9", "fragmentation level sweep (BFS)", (*Suite).Fig9, (*Suite).fig9Cells, CapSnapshot},
+	{"fig10", "Fig. 10", "DBG + selective THP under pressure+frag", (*Suite).Fig10, (*Suite).fig10Cells, CapSnapshot},
+	{"fig11", "Fig. 11", "selective THP sensitivity sweep (BFS)", (*Suite).Fig11, (*Suite).fig11Cells, CapSnapshot},
+	{"dbg", "§5.1.2", "DBG preprocessing overhead", (*Suite).DBGOverhead, (*Suite).dbgCells, CapSnapshot},
+	{"headline", "Abstract", "headline metrics vs the paper's ranges", (*Suite).Headline, (*Suite).headlineCells, CapSnapshot},
+	{"pagecache", "§4.3", "page cache single-use memory interference", (*Suite).PageCache, (*Suite).pagecacheCells, CapSnapshot},
+	{"ext-baselines", "Related work", "Ingens/HawkEye-style engines vs selective THP", (*Suite).Baselines, (*Suite).baselinesCells, CapSnapshot},
+	{"ext-auto", "§7 future work", "automatic profile-guided madvise plans", (*Suite).AutoSelective, (*Suite).autoSelectiveCells, CapSnapshot},
+	{"ext-cc", "§3.2", "Connected Components extension workload", (*Suite).CCWorkload, (*Suite).ccCells, CapSnapshot},
+	{"ext-grid", "control", "road-network negative control", (*Suite).GridControl, nil, ""},
+	{"ext-rollout", "§7 future work", "online policy rollout via checkpoint forks", (*Suite).Rollout, nil, CapSnapshot},
+	{"ext-shard", "§6 scaling", "sharded machine engine: modeled intra-run scaling", (*Suite).ShardScaling, (*Suite).shardCells, CapSnapshot + "," + CapSharded},
+	{"ext-fullscale", "§4 geometry", "paper-geometry campaign: footprint & sharded kernels at true scale", (*Suite).Fullscale, (*Suite).fullscaleCells, CapSnapshot + "," + CapSharded + "," + CapFullScale},
 }
 
 // Find returns the experiment with the given id.

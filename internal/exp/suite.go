@@ -77,6 +77,11 @@ type Suite struct {
 	// (zero value = the paper's Haswell hierarchy). Shape tests use a
 	// scaled hierarchy so bench-sized graphs exert full-sized pressure.
 	TLB tlb.Config
+	// CkptDir, when non-empty, backs the checkpoint cache with the
+	// persistent store in that directory (ckptstore.go): load phases
+	// staged by earlier processes are reloaded instead of replayed, and
+	// fresh stagings are saved for later ones. Empty disables the store.
+	CkptDir string
 
 	logMu  sync.Mutex
 	graphs sched.Cache[graphKey, *graphEntry]
@@ -207,12 +212,21 @@ func (s *Suite) spec(c runCfg) core.RunSpec {
 // preparing it on first request. Like the graph cache, the promise
 // cache collapses concurrent requests for one load phase onto a single
 // preparation; spec must be SnapshotSafe (Prepare rejects the rest).
+// With the persistent store enabled (Suite.CkptDir), a first request
+// consults the store before staging and saves what it staged on a miss
+// — forks from a loaded machine are byte-identical to forks from a
+// staged one (core.LoadCheckpoint), so memoization semantics are
+// unchanged.
 func (s *Suite) checkpoint(initKey string, spec core.RunSpec) *core.Checkpoint {
 	return s.inits.Get(initKey, func() *core.Checkpoint {
+		if cp := s.loadCheckpoint(initKey, spec); cp != nil {
+			return cp
+		}
 		cp, err := core.Prepare(spec)
 		if err != nil {
 			panic(check.Failf("exp: prepare %s: %v", initKey, err))
 		}
+		s.saveCheckpoint(initKey, cp)
 		return cp
 	})
 }

@@ -61,6 +61,10 @@ func TestRuleFixtures(t *testing.T) {
 		// hops; worker.go:16 is the direct write in the tagged file.
 		// drain (shard-owned state only) stays silent.
 		{dir: "sl014", want: []want{{"SL014", 20}, {"SL014", 16}}},
+		// Record.checksum (line 34) is the seeded gap; scratch is waived
+		// on its declaration line, and cursor's unkeyed decode literal
+		// plus Header's complete pair stay silent.
+		{dir: "sl015", want: []want{{"SL015", 34}}},
 		{dir: "waiver", want: []want{
 			{"SL001", 24}, {"SL000", 24},
 			{"SL001", 29}, {"SL000", 29},

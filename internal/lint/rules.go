@@ -171,6 +171,20 @@ func AllRules() []Rule {
 			Applies: internalOnly,
 			Check:   checkShardWorker,
 		},
+		{
+			ID:   "SL015",
+			Name: "codec-completeness",
+			Doc: "every Encode/Decode (and encode/decode) method must reference " +
+				"every field of its receiver struct (selector, composite-literal " +
+				"key, or unkeyed literal), in its own body or a same-package " +
+				"function it transitively reaches — a field a codec never " +
+				"mentions is state a saved checkpoint silently drops, the exact " +
+				"bug the reload equivalence gate exists to catch; " +
+				"machine.Machine must have an Encode/Decode pair to anchor the " +
+				"contract",
+			Applies: internalOnly,
+			Check:   checkCodecCompleteness,
+		},
 	}
 }
 

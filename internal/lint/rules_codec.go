@@ -1,0 +1,62 @@
+package lint
+
+// SL015: codec completeness — SL013's twin for the persistence layer.
+// The persistent checkpoint store's correctness argument (DESIGN.md
+// §5e) is that Encode/Decode pairs serialize the *entire* state vector
+// of their receiver: a field an encoder never mentions is state a
+// reloaded checkpoint silently loses, and the differential reload gate
+// only catches that for state the campaign happens to exercise. This
+// rule closes the gap statically, exactly as SL013 does for forks: for
+// every struct with a codec method declared in the pass's package, each
+// declared field must be referenced — selector read/write, composite-
+// literal key, or unkeyed literal — inside the method or inside a
+// same-package function the method transitively reaches. A field a
+// codec deliberately skips (rebuilt by Decode, bound by the caller,
+// forbidden live state guarded by Failf) still satisfies the rule by
+// being mentioned (`_ = x.field` with a comment, or an explicit zero
+// assignment); a field the codec has never heard of does not.
+
+// isCodecMethodName reports the method names that promise an exhaustive
+// serialization (or deserialization) of their receiver's state. The
+// unexported spellings cover internal codecs like machine.shardState's.
+func isCodecMethodName(name string) bool {
+	switch name {
+	case "Encode", "encode", "Decode", "decode":
+		return true
+	}
+	return false
+}
+
+// checkCodecCompleteness verifies every codec method declared in the
+// package mentions every field of its receiver struct, and anchors the
+// contract by requiring that machine.Machine — the root of the
+// serialized object graph — has both an Encode and a Decode method.
+func checkCodecCompleteness(p *Pass) {
+	targets, decls := methodTargets(p, isCodecMethodName)
+
+	// Anchor: the machine package must expose Machine.Encode and
+	// Machine.Decode. Without this, deleting the persistence layer
+	// wholesale would also delete every struct this rule checks, and
+	// the rule would pass vacuously.
+	if p.Path == ModulePath+"/internal/machine" {
+		var enc, dec bool
+		for _, t := range targets {
+			if t.named.Obj().Name() == "Machine" {
+				switch t.fn.Name() {
+				case "Encode":
+					enc = true
+				case "Decode":
+					dec = true
+				}
+			}
+		}
+		if !enc || !dec {
+			if pos := typeDeclPos(p, "Machine"); pos.IsValid() {
+				p.Reportf(pos, "machine.Machine lacks an Encode/Decode pair: the persistence layer's root codec is missing (SL015's completeness contract has nothing to anchor to)")
+			}
+		}
+	}
+
+	reportUnmentionedFields(p, targets, decls,
+		"field %s.%s is never referenced by %s or any same-package function it reaches: a saved checkpoint would silently drop it; serialize it (or mention it with a deliberate zero/rebuild and a comment)")
+}

@@ -40,33 +40,7 @@ func isSnapshotMethodName(name string) bool {
 // machine.Machine — the root of the forked object graph — has a Fork
 // method at all.
 func checkSnapshotCompleteness(p *Pass) {
-	type target struct {
-		named *types.Named
-		fn    *types.Func
-	}
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	var targets []target
-	for _, file := range p.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			decls[fn] = fd
-			if fd.Recv == nil || !isSnapshotMethodName(fd.Name.Name) {
-				continue
-			}
-			named := receiverStruct(fn)
-			if named == nil || named.Obj().Pkg() != p.Pkg {
-				continue
-			}
-			targets = append(targets, target{named, fn})
-		}
-	}
+	targets, decls := methodTargets(p, isSnapshotMethodName)
 
 	// Anchor: the machine package must expose Machine.Fork. Without
 	// this, deleting the fork layer wholesale would also delete every
@@ -85,6 +59,53 @@ func checkSnapshotCompleteness(p *Pass) {
 		}
 	}
 
+	reportUnmentionedFields(p, targets, decls,
+		"field %s.%s is never referenced by %s or any same-package function it reaches: a fork would silently drop it; copy it (or mention it with a deliberate zero and a comment)")
+}
+
+// methodTarget names one completeness-checked method: a method matching
+// the rule's name predicate, declared in the pass's package on a struct
+// receiver.
+type methodTarget struct {
+	named *types.Named
+	fn    *types.Func
+}
+
+// methodTargets collects the pass's completeness targets per the name
+// predicate, plus the package's full func→decl index (which the
+// reachability walk needs for every rule that calls this).
+func methodTargets(p *Pass, nameMatch func(string) bool) ([]methodTarget, map[*types.Func]*ast.FuncDecl) {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var targets []methodTarget
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if fd.Recv == nil || !nameMatch(fd.Name.Name) {
+				continue
+			}
+			named := receiverStruct(fn)
+			if named == nil || named.Obj().Pkg() != p.Pkg {
+				continue
+			}
+			targets = append(targets, methodTarget{named, fn})
+		}
+	}
+	return targets, decls
+}
+
+// reportUnmentionedFields reports, for each target method, every field
+// of its receiver struct that neither the method nor any same-package
+// function it transitively reaches ever references. format receives
+// (type, field, method).
+func reportUnmentionedFields(p *Pass, targets []methodTarget, decls map[*types.Func]*ast.FuncDecl, format string) {
 	if len(targets) == 0 {
 		return
 	}
@@ -103,8 +124,7 @@ func checkSnapshotCompleteness(p *Pass) {
 			if f.Name() == "_" || refs[f] {
 				continue
 			}
-			p.Reportf(f.Pos(), "field %s.%s is never referenced by %s or any same-package function it reaches: a fork would silently drop it; copy it (or mention it with a deliberate zero and a comment)",
-				t.named.Obj().Name(), f.Name(), t.fn.Name())
+			p.Reportf(f.Pos(), format, t.named.Obj().Name(), f.Name(), t.fn.Name())
 		}
 	}
 }

@@ -1,0 +1,206 @@
+package memsys
+
+import (
+	"math/bits"
+
+	"graphmem/internal/ckpt"
+)
+
+// Checkpoint codec (DESIGN.md §5e). The frame-metadata array is
+// pointer-free 8-byte words (PR 9), so the bulk of a node serializes
+// as one raw slice write — the near-memcpy path the persistent store
+// depends on. Owners are the one indirection: frames hold interned
+// ownerRefs into the owners table, and the table entries live outside
+// this package (an address space, a memhog, a page cache), so Encode
+// and Decode take a callback that serializes each distinct owner in
+// slot order — exactly the once-per-owner remapping contract Clone
+// has, transplanted to disk. Slot order is load-bearing: every
+// frame word carries its owner's table index.
+//
+// Decode validates everything a hostile image could use to reach an
+// out-of-bounds access on the simulation path — array geometry against
+// nframes, free-bitmap population against the free counters, per-frame
+// owner refs and block orders, reclaim-queue bounds — and fails the
+// Decoder instead of panicking. Deeper conservation auditing stays
+// where it lives today, in the simcheck build's audits.
+
+func (s *Stats) encode(e *ckpt.Encoder) {
+	e.U64(s.Allocs4K)
+	e.U64(s.AllocsHuge)
+	e.U64(s.FailedHuge)
+	e.U64(s.Frees)
+	e.U64(s.PagesCompacted)
+	e.U64(s.PagesReclaimed)
+	e.U64(s.CompactionRuns)
+	e.U64(s.CompactionFails)
+}
+
+func (s *Stats) decode(d *ckpt.Decoder) {
+	s.Allocs4K = d.U64()
+	s.AllocsHuge = d.U64()
+	s.FailedHuge = d.U64()
+	s.Frees = d.U64()
+	s.PagesCompacted = d.U64()
+	s.PagesReclaimed = d.U64()
+	s.CompactionRuns = d.U64()
+	s.CompactionFails = d.U64()
+}
+
+func (q *frameQueue) encode(e *ckpt.Encoder) {
+	ckpt.EncodeSlice(e, q.items)
+	e.Int(q.head)
+}
+
+func (q *frameQueue) decode(d *ckpt.Decoder, nframes Frame) {
+	q.items = ckpt.DecodeSlice[Frame](d)
+	q.head = d.Int()
+	if q.head < 0 || q.head > len(q.items) {
+		d.Failf("memsys: reclaim queue head %d out of range [0,%d]", q.head, len(q.items))
+		return
+	}
+	for _, f := range q.items {
+		if f >= nframes {
+			d.Failf("memsys: reclaim queue entry %d beyond %d frames", f, nframes)
+			return
+		}
+	}
+}
+
+// Encode serializes the node. owner is invoked once per interned owner
+// table slot (slot 0, the nil owner, is skipped) in slot order.
+func (m *Memory) Encode(e *ckpt.Encoder, owner func(*ckpt.Encoder, Owner)) {
+	e.U32(uint32(m.nframes))
+	ckpt.EncodeSlice(e, m.frames)
+	if m.shadow != nil {
+		// Test-only differential mirror; a machine staged for
+		// checkpointing never carries one.
+		e.Failf("memsys: shadow mirroring enabled; refusing to serialize")
+	}
+	for o := range m.freeBits {
+		ckpt.EncodeSlice(e, m.freeBits[o])
+	}
+	e.Raw(ckpt.View(&m.freeCount))
+	e.Raw(ckpt.View(&m.hint))
+	e.U64(m.freePages)
+	for qi := range m.reclaimQ {
+		m.reclaimQ[qi].encode(e)
+	}
+	e.Raw(ckpt.View(&m.allocByType))
+	e.Int(len(m.owners))
+	for i, o := range m.owners {
+		if i == 0 {
+			if o != nil {
+				e.Failf("memsys: owner slot 0 is %T, want nil", o)
+			}
+			continue
+		}
+		owner(e, o)
+	}
+	m.stats.encode(e)
+}
+
+// Decode is Encode's inverse, into a fresh receiver. owner is invoked
+// once per non-nil owner table slot in slot order and must return the
+// reconstructed owner bound to the Memory under construction (it may
+// record state against m, whose frame metadata is already decoded); a
+// nil return fails the load. On any decoder error the receiver must be
+// discarded.
+func (m *Memory) Decode(d *ckpt.Decoder, owner func(*ckpt.Decoder, *Memory) Owner) {
+	m.nframes = Frame(d.U32())
+	m.frames = ckpt.DecodeSlice[frameInfo](d)
+	m.shadow = nil // never serialized; EnableShadow can reseed it
+	for o := range m.freeBits {
+		m.freeBits[o] = ckpt.DecodeSlice[uint64](d)
+	}
+	d.Raw(ckpt.View(&m.freeCount))
+	d.Raw(ckpt.View(&m.hint))
+	m.freePages = d.U64()
+	for qi := range m.reclaimQ {
+		m.reclaimQ[qi].decode(d, m.nframes)
+	}
+	d.Raw(ckpt.View(&m.allocByType))
+	nOwners := d.Len(maxOwnerRefs)
+	m.owners = nil
+	if nOwners > 0 {
+		m.owners = make([]Owner, 1, nOwners)
+		for i := 1; i < nOwners; i++ {
+			o := owner(d, m)
+			if o == nil {
+				if d.Err() == nil {
+					d.Failf("memsys: owner slot %d reconstructed as nil", i)
+				}
+				return
+			}
+			m.owners = append(m.owners, o)
+		}
+	}
+	m.stats.decode(d)
+	m.validate(d)
+}
+
+// validate fails the decoder unless the decoded node is structurally
+// sound: every index the allocator dereferences unchecked must be in
+// bounds, and the cheap conservation invariants must hold.
+func (m *Memory) validate(d *ckpt.Decoder) {
+	if d.Err() != nil {
+		return
+	}
+	if uint64(len(m.frames)) != uint64(m.nframes) {
+		d.Failf("memsys: %d frame words for %d frames", len(m.frames), m.nframes)
+		return
+	}
+	words := int((uint32(m.nframes) + 63) / 64)
+	var freeByCount uint64
+	for o := range m.freeBits {
+		if len(m.freeBits[o]) != words {
+			d.Failf("memsys: order-%d bitmap has %d words, want %d", o, len(m.freeBits[o]), words)
+			return
+		}
+		var pop uint32
+		for w, bitsWord := range m.freeBits[o] {
+			pop += uint32(bits.OnesCount64(bitsWord))
+			for bw := bitsWord; bw != 0; bw &= bw - 1 {
+				f := Frame(w*64 + bits.TrailingZeros64(bw))
+				if f%(1<<o) != 0 || uint64(f)+1<<o > uint64(m.nframes) {
+					d.Failf("memsys: free order-%d block at frame %d misaligned or out of range", o, f)
+					return
+				}
+			}
+		}
+		if pop != m.freeCount[o] {
+			d.Failf("memsys: order-%d free count %d but bitmap has %d blocks", o, m.freeCount[o], pop)
+			return
+		}
+		freeByCount += uint64(m.freeCount[o]) << o
+	}
+	if freeByCount != m.freePages {
+		d.Failf("memsys: free pages %d but free blocks sum to %d", m.freePages, freeByCount)
+		return
+	}
+	var byType [4]uint64
+	for _, fi := range m.frames {
+		if !fi.allocated() {
+			if fi.w != 0 {
+				d.Failf("memsys: non-zero metadata on unallocated frame")
+				return
+			}
+			continue
+		}
+		if int(fi.blockOrder()) > MaxOrder {
+			d.Failf("memsys: frame block order %d beyond MaxOrder", fi.blockOrder())
+			return
+		}
+		if r := fi.owner(); r != 0 && int(r) >= len(m.owners) {
+			d.Failf("memsys: frame owner ref %d beyond %d-entry table", r, len(m.owners))
+			return
+		}
+		byType[fi.mtype()]++
+	}
+	if byType != m.allocByType {
+		d.Failf("memsys: per-type allocation counters %v do not match frame scan %v", m.allocByType, byType)
+		return
+	}
+	if alloc := byType[0] + byType[1] + byType[2] + byType[3]; alloc+m.freePages != uint64(m.nframes) {
+		d.Failf("memsys: %d allocated + %d free != %d frames", alloc, m.freePages, m.nframes)
+	}
+}

@@ -1,0 +1,138 @@
+package oskernel
+
+import (
+	"graphmem/internal/ckpt"
+	"graphmem/internal/memsys"
+	"graphmem/internal/vm"
+)
+
+// Checkpoint codec (DESIGN.md §5e). Mirrors Clone: config, counters,
+// scan/demotion cursors, the khugepaged deadline, and the hugetlbfs
+// reservation pool persist — the loaded kernel's next decision must be
+// exactly the staged one's — while the mem/space bindings are supplied
+// by the caller (which decodes those subsystems itself) and the
+// PromoteByHeat scratch buffer stays dead.
+
+func (c *Config) encode(e *ckpt.Encoder) {
+	e.U8(uint8(c.Mode))
+	e.U8(uint8(c.Defrag))
+	e.Bool(c.FaultTimeHuge)
+	e.Bool(c.PromoteByHeat)
+	e.Bool(c.KhugepagedEnabled)
+	e.U64(c.KhugepagedInterval)
+	e.Int(c.KhugepagedRegionsPerScan)
+	e.Int(c.MaxPtesNone)
+	e.Int(c.ReclaimBatch)
+	e.Int(c.HugetlbReserve)
+}
+
+func (c *Config) decode(d *ckpt.Decoder) {
+	c.Mode = THPMode(d.U8())
+	c.Defrag = DefragMode(d.U8())
+	c.FaultTimeHuge = d.Bool()
+	c.PromoteByHeat = d.Bool()
+	c.KhugepagedEnabled = d.Bool()
+	c.KhugepagedInterval = d.U64()
+	c.KhugepagedRegionsPerScan = d.Int()
+	c.MaxPtesNone = d.Int()
+	c.ReclaimBatch = d.Int()
+	c.HugetlbReserve = d.Int()
+	if c.Mode > ModeAlways || c.Defrag > DefragAlways {
+		d.Failf("oskernel: THP mode %d / defrag mode %d unknown", c.Mode, c.Defrag)
+	}
+}
+
+func (s *Stats) encode(e *ckpt.Encoder) {
+	e.U64(s.Faults4K)
+	e.U64(s.FaultsHuge)
+	e.U64(s.HugeFallbacks)
+	e.U64(s.CompactionRuns)
+	e.U64(s.PagesMigrated)
+	e.U64(s.PagesDropped)
+	e.U64(s.SwapIns)
+	e.U64(s.SwapOuts)
+	e.U64(s.Promotions)
+	e.U64(s.Demotions)
+	e.U64(s.FaultCycles)
+	e.U64(s.KhugepagedCycles)
+}
+
+func (s *Stats) decode(d *ckpt.Decoder) {
+	s.Faults4K = d.U64()
+	s.FaultsHuge = d.U64()
+	s.HugeFallbacks = d.U64()
+	s.CompactionRuns = d.U64()
+	s.PagesMigrated = d.U64()
+	s.PagesDropped = d.U64()
+	s.SwapIns = d.U64()
+	s.SwapOuts = d.U64()
+	s.Promotions = d.U64()
+	s.Demotions = d.U64()
+	s.FaultCycles = d.U64()
+	s.KhugepagedCycles = d.U64()
+}
+
+// Encode serializes the policy engine's own state.
+func (k *Kernel) Encode(e *ckpt.Encoder) {
+	k.cfg.encode(e)
+	_ = k.mem   // binding; the loaded kernel is handed its decoded node
+	_ = k.space // binding; likewise
+	k.model.Encode(e)
+	k.stats.encode(e)
+	e.Int(k.scanVMA)
+	e.Int(k.scanRegion)
+	e.U64(k.lastScan)
+	e.Int(k.demoteVMA)
+	e.Int(k.demoteRegion)
+	ckpt.EncodeSlice(e, k.hugetlbPool)
+	if len(k.heatCands) != 0 {
+		// Per-scan scratch, cleared after every scan; a checkpoint can
+		// only be cut between scans.
+		e.Failf("oskernel: heat-candidate scratch is live mid-scan")
+	}
+}
+
+// Decode is Encode's inverse, into a fresh receiver bound to the
+// caller's decoded node and space. On any decoder error the receiver
+// must be discarded.
+func (k *Kernel) Decode(d *ckpt.Decoder, mem *memsys.Memory, space *vm.AddressSpace) {
+	k.cfg.decode(d)
+	k.mem = mem
+	k.space = space
+	k.model.Decode(d)
+	k.stats.decode(d)
+	k.scanVMA = d.Int()
+	k.scanRegion = d.Int()
+	k.lastScan = d.U64()
+	k.demoteVMA = d.Int()
+	k.demoteRegion = d.Int()
+	k.hugetlbPool = ckpt.DecodeSlice[memsys.Frame](d)
+	k.heatCands = nil
+	if d.Err() != nil {
+		return
+	}
+	// The scan loops self-heal a VMA cursor past the list (VMAs can be
+	// unmapped) but dereference the region cursor before bounding it,
+	// so the region cursor must sit inside its VMA.
+	vmas := space.VMAs()
+	checkCursor := func(vi, ri int, regions func(*vm.VMA) int, name string) {
+		if vi < 0 || vi > len(vmas) || ri < 0 {
+			d.Failf("oskernel: %s cursor (%d,%d) out of range", name, vi, ri)
+			return
+		}
+		if vi < len(vmas) {
+			if max := regions(vmas[vi]); ri >= max && ri != 0 {
+				d.Failf("oskernel: %s cursor region %d beyond VMA's %d regions", name, ri, max)
+			}
+		}
+	}
+	checkCursor(k.scanVMA, k.scanRegion, (*vm.VMA).FullRegions, "scan")
+	checkCursor(k.demoteVMA, k.demoteRegion, (*vm.VMA).Regions, "demotion")
+	total := mem.TotalPages()
+	for _, hf := range k.hugetlbPool {
+		if hf%memsys.HugePages != 0 || uint64(hf)+memsys.HugePages > total {
+			d.Failf("oskernel: hugetlb pool frame %d misaligned or out of range", hf)
+			return
+		}
+	}
+}

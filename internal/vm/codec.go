@@ -1,0 +1,427 @@
+package vm
+
+import (
+	"graphmem/internal/ckpt"
+	"graphmem/internal/memsys"
+)
+
+// Checkpoint codec (DESIGN.md §5e). Serialization follows Clone's
+// contract exactly: the same three bindings that do not survive a fork
+// do not survive a save — mem (reattached via AttachMem once the
+// caller has decoded the physical node), Shootdown (the loaded machine
+// installs its own), and lastVMA (a pure lookup accelerator). The
+// sparse chunk directories serialize sparsely: nil spans cost nothing
+// but their absence from the index list, and materialized chunks write
+// their fixed arrays as raw memory.
+//
+// Decode rebuilds derived state (byID, chunk directories) and
+// validates every structural invariant the mapping mutators rely on
+// without checking — VMA ordering and cookie budgets, chunk directory
+// geometry, present4k counts against the page arrays, the swap-bitmap
+// population against SwappedOut, page-table conservation — failing the
+// Decoder instead of panicking on hostile images. Frame numbers cannot
+// be bounds-checked here (the physical node decodes after the space it
+// owns); CheckFrames covers them once memory is attached.
+
+func (pc *pageChunk) encode(e *ckpt.Encoder) {
+	e.Raw(ckpt.View(&pc.base))
+	e.Raw(ckpt.View(&pc.swap))
+}
+
+func (pc *pageChunk) decode(d *ckpt.Decoder) {
+	d.Raw(ckpt.View(&pc.base))
+	d.Raw(ckpt.View(&pc.swap))
+}
+
+func (c *vmaChunk) encode(e *ckpt.Encoder) {
+	e.Raw(ckpt.View(&c.advice))
+	e.Raw(ckpt.View(&c.huge))
+	e.Raw(ckpt.View(&c.present4k))
+	e.Raw(ckpt.View(&c.heat))
+	n := 0
+	for _, pc := range c.pages {
+		if pc != nil {
+			n++
+		}
+	}
+	e.Int(n)
+	for i, pc := range c.pages {
+		if pc != nil {
+			e.Int(i)
+			pc.encode(e)
+		}
+	}
+}
+
+func (c *vmaChunk) decode(d *ckpt.Decoder) {
+	d.Raw(ckpt.View(&c.advice))
+	d.Raw(ckpt.View(&c.huge))
+	d.Raw(ckpt.View(&c.present4k))
+	d.Raw(ckpt.View(&c.heat))
+	n := d.Len(chunkRegions)
+	prev := -1
+	for k := 0; k < n; k++ {
+		i := d.Int()
+		if i <= prev || i >= chunkRegions {
+			d.Failf("vm: page chunk index %d out of order or range", i)
+			return
+		}
+		prev = i
+		pc := &pageChunk{}
+		pc.decode(d)
+		c.pages[i] = pc
+	}
+}
+
+func (v *VMA) encode(e *ckpt.Encoder) {
+	e.String(v.Name)
+	e.U64(v.Base)
+	e.U64(v.Bytes)
+	e.Int(v.Pages)
+	e.Int(v.StatsTag)
+	e.U32(v.id)
+	_ = v.space // back-pointer; the decoding space binds itself
+	n := 0
+	for _, c := range v.chunks {
+		if c != nil {
+			n++
+		}
+	}
+	e.Int(len(v.chunks))
+	e.Int(n)
+	for i, c := range v.chunks {
+		if c != nil {
+			e.Int(i)
+			c.encode(e)
+		}
+	}
+	ckpt.EncodeSlice(e, v.ptFrames)
+	if v.dead {
+		// The live VMA list excludes dead entries by construction.
+		e.Failf("vm: dead VMA %q in live list", v.Name)
+	}
+}
+
+func (v *VMA) decode(d *ckpt.Decoder, space *AddressSpace) {
+	v.Name = d.String()
+	v.Base = d.U64()
+	v.Bytes = d.U64()
+	v.Pages = d.Int()
+	v.StatsTag = d.Int()
+	v.id = d.U32()
+	v.space = space
+	v.dead = false
+	if v.Pages <= 0 || uint64(v.Pages) > cookieIndexMask+1 ||
+		v.Bytes == 0 || v.Pages != int((v.Bytes+memsys.PageSize-1)/memsys.PageSize) {
+		d.Failf("vm: VMA %q: %d pages / %d bytes out of range", v.Name, v.Pages, v.Bytes)
+		return
+	}
+	if v.Base%memsys.HugeSize != 0 {
+		d.Failf("vm: VMA %q base %#x not 2MB aligned", v.Name, v.Base)
+		return
+	}
+	if v.id == 0 || uint64(v.id) > cookieIDMask {
+		d.Failf("vm: VMA %q id %d outside the cookie budget", v.Name, v.id)
+		return
+	}
+	nChunks := d.Len(1 << 30)
+	regions := (v.Pages + RegionPages - 1) / RegionPages
+	if nChunks != (regions+chunkRegions-1)>>chunkShift {
+		d.Failf("vm: VMA %q: %d chunk slots for %d regions", v.Name, nChunks, regions)
+		return
+	}
+	v.chunks = make([]*vmaChunk, nChunks)
+	n := d.Len(nChunks)
+	prev := -1
+	for k := 0; k < n; k++ {
+		i := d.Int()
+		if i <= prev || i >= nChunks {
+			d.Failf("vm: VMA %q chunk index %d out of order or range", v.Name, i)
+			return
+		}
+		prev = i
+		c := &vmaChunk{}
+		c.decode(d)
+		v.chunks[i] = c
+	}
+	v.ptFrames = ckpt.DecodeSlice[memsys.Frame](d)
+}
+
+// validate checks the per-region bookkeeping of a decoded VMA and
+// returns the number of swap-resident pages it carries.
+func (v *VMA) validate(d *ckpt.Decoder) (swapped uint64) {
+	if d.Err() != nil {
+		return 0
+	}
+	regions := v.Regions()
+	for ci, c := range v.chunks {
+		if c == nil {
+			continue
+		}
+		for cr := 0; cr < chunkRegions; cr++ {
+			r := ci<<chunkShift + cr
+			huge := c.huge[cr] != memsys.NoFrame
+			pc := c.pages[cr]
+			if r >= regions {
+				if huge || pc != nil || c.present4k[cr] != 0 || c.advice[cr] != AdviceDefault || c.heat[cr] != 0 {
+					d.Failf("vm: VMA %q has state beyond its %d regions", v.Name, regions)
+					return swapped
+				}
+				continue
+			}
+			if huge {
+				if pc != nil || c.present4k[cr] != 0 {
+					d.Failf("vm: VMA %q region %d is huge-mapped but carries 4K state", v.Name, r)
+					return swapped
+				}
+				if (r+1)*RegionPages > v.Pages {
+					d.Failf("vm: VMA %q partial tail region %d is huge-mapped", v.Name, r)
+					return swapped
+				}
+				continue
+			}
+			if pc == nil {
+				if c.present4k[cr] != 0 {
+					d.Failf("vm: VMA %q region %d counts %d pages with no page state", v.Name, r, c.present4k[cr])
+					return swapped
+				}
+				continue
+			}
+			lo := r * RegionPages
+			var present uint16
+			for j := 0; j < RegionPages; j++ {
+				mapped := pc.base[j] != memsys.NoFrame
+				if lo+j >= v.Pages {
+					if mapped || pc.swapped(j) {
+						d.Failf("vm: VMA %q has a mapping beyond its %d pages", v.Name, v.Pages)
+						return swapped
+					}
+					continue
+				}
+				if mapped {
+					present++
+					if pc.swapped(j) {
+						d.Failf("vm: VMA %q page %d both mapped and swapped", v.Name, lo+j)
+						return swapped
+					}
+				} else if pc.swapped(j) {
+					swapped++
+				}
+			}
+			if present != c.present4k[cr] {
+				d.Failf("vm: VMA %q region %d counts %d pages but %d are mapped", v.Name, r, c.present4k[cr], present)
+				return swapped
+			}
+		}
+	}
+	return swapped
+}
+
+// Encode serializes the address space and every live VMA.
+func (as *AddressSpace) Encode(e *ckpt.Encoder) {
+	_ = as.mem       // rebound via AttachMem after the physical node decodes
+	_ = as.byID      // derived: rebuilt from the VMA list
+	_ = as.lastVMA   // lookup accelerator; never serialized
+	_ = as.Shootdown // stateless machine binding; the loaded machine installs its own
+	e.Int(len(as.vmas))
+	for _, v := range as.vmas {
+		v.encode(e)
+	}
+	e.U64(as.nextBase)
+	e.U32(as.nextID)
+	e.Bool(as.SimPageTables)
+	e.U64(as.PageTableBytes)
+	e.U32(uint32(as.pml4))
+	e.U32(uint32(as.pdpt))
+	e.Int(len(as.pds))
+	for _, gb := range sortedKeys(as.pds) {
+		e.U64(gb)
+		e.U32(uint32(as.pds[gb]))
+	}
+	e.U64(as.SwappedOut)
+	e.U64(as.ReclaimDemotions)
+}
+
+func sortedKeys(m map[uint64]memsys.Frame) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// Decode is Encode's inverse, into a fresh receiver. As after Clone,
+// the result has no memory attached, no shootdown callback, and a cold
+// lookup cache; the caller attaches memory (AttachMem), then validates
+// frame references (CheckFrames), then installs its callback. On any
+// decoder error the receiver must be discarded.
+func (as *AddressSpace) Decode(d *ckpt.Decoder) {
+	as.mem = nil
+	as.Shootdown = nil
+	as.lastVMA = nil
+	nv := d.Len(1 << 20)
+	as.vmas = make([]*VMA, 0, nv)
+	as.byID = make(map[uint32]*VMA, nv)
+	var swapped uint64
+	for i := 0; i < nv; i++ {
+		v := &VMA{}
+		v.decode(d, as)
+		if d.Err() != nil {
+			return
+		}
+		if _, dup := as.byID[v.id]; dup {
+			d.Failf("vm: duplicate VMA id %d", v.id)
+			return
+		}
+		if len(as.vmas) > 0 && as.vmas[len(as.vmas)-1].End() > v.Base {
+			d.Failf("vm: VMA %q overlaps or is out of address order", v.Name)
+			return
+		}
+		swapped += v.validate(d)
+		as.vmas = append(as.vmas, v)
+		as.byID[v.id] = v
+	}
+	as.nextBase = d.U64()
+	as.nextID = d.U32()
+	as.SimPageTables = d.Bool()
+	as.PageTableBytes = d.U64()
+	as.pml4 = memsys.Frame(d.U32())
+	as.pdpt = memsys.Frame(d.U32())
+	np := d.Len(d.Remaining() / 12)
+	as.pds = make(map[uint64]memsys.Frame, np)
+	prev := uint64(0)
+	for i := 0; i < np; i++ {
+		gb := d.U64()
+		if i > 0 && gb <= prev {
+			d.Failf("vm: page-directory keys out of order")
+			return
+		}
+		prev = gb
+		as.pds[gb] = memsys.Frame(d.U32())
+	}
+	as.SwappedOut = d.U64()
+	as.ReclaimDemotions = d.U64()
+	if d.Err() != nil {
+		return
+	}
+	if swapped != as.SwappedOut {
+		d.Failf("vm: %d pages on swap but SwappedOut says %d", swapped, as.SwappedOut)
+		return
+	}
+	for _, v := range as.vmas {
+		if v.Base >= as.nextBase {
+			d.Failf("vm: VMA %q sits at or beyond the next mmap base", v.Name)
+			return
+		}
+		if v.id >= as.nextID {
+			d.Failf("vm: VMA %q id %d at or beyond the next id", v.Name, v.id)
+			return
+		}
+	}
+	as.validateTables(d)
+}
+
+// validateTables checks the simulated page-table bookkeeping of a
+// decoded space: presence matches the SimPageTables mode and the byte
+// counter conserves against the structures that exist.
+func (as *AddressSpace) validateTables(d *ckpt.Decoder) {
+	if d.Err() != nil {
+		return
+	}
+	if !as.SimPageTables {
+		ptf := 0
+		for _, v := range as.vmas {
+			ptf += len(v.ptFrames)
+		}
+		if ptf != 0 || as.pml4 != memsys.NoFrame || as.pdpt != memsys.NoFrame ||
+			len(as.pds) != 0 || as.PageTableBytes != 0 {
+			d.Failf("vm: page-table state present without SimPageTables")
+		}
+		return
+	}
+	pages := uint64(0)
+	if as.pml4 != memsys.NoFrame {
+		pages = 2 + uint64(len(as.pds))
+	} else if as.pdpt != memsys.NoFrame || len(as.pds) != 0 {
+		d.Failf("vm: paging structures present without a root table")
+		return
+	}
+	for _, v := range as.vmas {
+		if len(v.ptFrames) != v.Regions() {
+			d.Failf("vm: VMA %q has %d PT pages for %d regions", v.Name, len(v.ptFrames), v.Regions())
+			return
+		}
+		if len(v.ptFrames) > 0 && as.pml4 == memsys.NoFrame {
+			d.Failf("vm: VMA %q has PT pages but no root table", v.Name)
+			return
+		}
+		pages += uint64(len(v.ptFrames))
+	}
+	if want := pages * memsys.PageSize; want != as.PageTableBytes {
+		d.Failf("vm: PageTableBytes %d, structures account for %d", as.PageTableBytes, want)
+	}
+}
+
+// CheckFrames validates every physical frame number a decoded space
+// refers to against the attached memory's frame count. It must run
+// after AttachMem; the space's own Decode cannot do it because the
+// physical node it is the first owner of decodes after it.
+func (as *AddressSpace) CheckFrames(d *ckpt.Decoder) {
+	if d.Err() != nil {
+		return
+	}
+	total := as.mem.TotalPages()
+	ok := func(f memsys.Frame) bool { return uint64(f) < total }
+	okN := func(f memsys.Frame, n int) bool { return uint64(f)+uint64(n) <= total }
+	if as.pml4 != memsys.NoFrame && !ok(as.pml4) {
+		d.Failf("vm: pml4 frame out of range")
+		return
+	}
+	if as.pdpt != memsys.NoFrame && !ok(as.pdpt) {
+		d.Failf("vm: pdpt frame out of range")
+		return
+	}
+	for _, gb := range sortedKeys(as.pds) {
+		if !ok(as.pds[gb]) {
+			d.Failf("vm: page-directory frame out of range")
+			return
+		}
+	}
+	for _, v := range as.vmas {
+		for _, f := range v.ptFrames {
+			if !ok(f) {
+				d.Failf("vm: VMA %q PT frame out of range", v.Name)
+				return
+			}
+		}
+		for _, c := range v.chunks {
+			if c == nil {
+				continue
+			}
+			for cr := range c.huge {
+				if hf := c.huge[cr]; hf != memsys.NoFrame {
+					if hf%memsys.HugePages != 0 || !okN(hf, memsys.HugePages) {
+						d.Failf("vm: VMA %q huge frame misaligned or out of range", v.Name)
+						return
+					}
+				}
+			}
+			for _, pc := range c.pages {
+				if pc == nil {
+					continue
+				}
+				for _, f := range pc.base {
+					if f != memsys.NoFrame && !ok(f) {
+						d.Failf("vm: VMA %q base frame out of range", v.Name)
+						return
+					}
+				}
+			}
+		}
+	}
+}

@@ -14,11 +14,21 @@
 # single-run pair (TestShardBringupSpeedup: the kr25 ext-shard cell
 # with fork bring-up vs GRAPHMEM_NO_SHARD=1 replay), and the
 # paper-geometry footprint gate (TestFullscaleGeometryGate: the
-# ext-fullscale 128 GB staged cell, recording bytes_per_frame and the
-# stats.Footprint totals and reduction), then merges the
-# figures into BENCH_access.json via cmd/benchjson — updated keys
-# change in place, keys this script does not know about survive — so
-# subsequent PRs have a recorded baseline to compare against.
+# ext-fullscale 128 GB staged campaign, recording bytes_per_frame and
+# the stats.Footprint totals and reduction), and the checkpoint-store
+# reload gate (TestCkptReloadSpeedup: save/load GB/s and the
+# reload-vs-restage speedup on the bench-scale fullscale cell), then
+# merges the figures into BENCH_access.json via cmd/benchjson — updated
+# keys change in place, keys this script does not know about survive —
+# so subsequent PRs have a recorded baseline to compare against.
+#
+# Engine perf gates are ratio-based, never absolute: the bulk and
+# gather engines must each beat their same-host scalar counterpart by
+# >= 2x per simulated access. Absolute ns/op budgets would encode one
+# reference machine; a same-binary same-host ratio survives any host
+# while still catching an engine that quietly degrades to its scalar
+# path. The recorded host context (CPU model, GOMAXPROCS, go version)
+# keys each snapshot so cross-PR comparisons know when the host moved.
 #
 # Usage: ./scripts/bench.sh [output.json]
 #   BENCHTIME=5s ./scripts/bench.sh    # longer micro runs
@@ -59,6 +69,23 @@ gsns=$(echo "$gather" | awk '$1 ~ /^BenchmarkAccessGatherScalar(-[0-9]+)?$/ {pri
 gaop=$(echo "$gather" | awk '$1 ~ /^BenchmarkAccessGather(-[0-9]+)?$/ {print $7}')
 if [ -z "$gns" ] || [ -z "$gsns" ]; then
     echo "bench.sh: could not parse BenchmarkAccessGather output" >&2
+    exit 1
+fi
+
+echo "== engine perf gates (same-host ratios, >= 2x)" >&2
+# BenchmarkAccess is the scalar per-access cost; the bulk and gather
+# engines amortize it over coalesced batches, so their ns-per-access
+# must stay well under it on the same binary and host.
+bulk_ratio=$(awk "BEGIN { printf \"%.2f\", $ns / $bns }")
+gather_ratio=$(awk "BEGIN { printf \"%.2f\", $gsns / $gns }")
+echo "bulk engine: ${bns}ns vs scalar ${ns}ns per access (${bulk_ratio}x)" >&2
+echo "gather engine: ${gns}ns vs scalar ${gsns}ns per access (${gather_ratio}x)" >&2
+if ! awk "BEGIN { exit !($ns >= 2 * $bns) }"; then
+    echo "bench.sh: bulk engine is under 2x the scalar path (${bulk_ratio}x): AccessRun is no longer amortizing" >&2
+    exit 1
+fi
+if ! awk "BEGIN { exit !($gsns >= 2 * $gns) }"; then
+    echo "bench.sh: gather engine is under 2x its scalar path (${gather_ratio}x): AccessGather is no longer amortizing" >&2
     exit 1
 fi
 
@@ -106,8 +133,25 @@ echo "== frame-metadata byte budget (TestFrameInfoSize)" >&2
 go test -run '^TestFrameInfoSize$' -count=1 ./internal/memsys >&2
 bytes_per_frame=8
 
-echo "== paper-geometry footprint (full scale, ext-fullscale cell)" >&2
-fsgate=$(GRAPHMEM_FULLSCALE=1 go test -run '^TestFullscaleGeometryGate$' \
+echo "== checkpoint-store reload gate (bench scale, fullscale cell)" >&2
+ckpt=$(GRAPHMEM_CKPT_GATE=1 go test -run '^TestCkptReloadSpeedup$' \
+    -count=1 -v ./internal/exp)
+echo "$ckpt" >&2
+ckpt_line=$(echo "$ckpt" | grep ckpt_reload)
+ckpt_save=$(echo "$ckpt_line" | sed 's/.*save_gbps=\([0-9.]*\).*/\1/')
+ckpt_load=$(echo "$ckpt_line" | sed 's/.*load_gbps=\([0-9.]*\).*/\1/')
+ckpt_speedup=$(echo "$ckpt_line" | sed 's/.*speedup=\([0-9.]*\).*/\1/')
+ckpt_bytes=$(echo "$ckpt_line" | sed 's/.*bytes=\([0-9]*\).*/\1/')
+if [ -z "$ckpt_save" ] || [ -z "$ckpt_load" ] || [ -z "$ckpt_speedup" ]; then
+    echo "bench.sh: could not parse TestCkptReloadSpeedup output" >&2
+    exit 1
+fi
+
+echo "== paper-geometry footprint (full scale, ext-fullscale campaign)" >&2
+# Reuse the node images ci.sh staged when both point GRAPHMEM_CKPT_DIR
+# at the same store; without one the gate restages from scratch.
+fsgate=$(GRAPHMEM_FULLSCALE=1 GRAPHMEM_CKPT_DIR="${GRAPHMEM_CKPT_DIR:-}" \
+    go test -run '^TestFullscaleGeometryGate$' \
     -count=1 -v -timeout 900s ./internal/exp)
 echo "$fsgate" >&2
 fs_line=$(echo "$fsgate" | grep footprint_fullscale)
@@ -120,7 +164,19 @@ if [ -z "$fs_bytes" ] || [ -z "$fs_reduction" ]; then
     exit 1
 fi
 
+echo "== host context" >&2
+host_cpu=$(awk -F': ' '/^model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null || true)
+if [ -z "$host_cpu" ]; then
+    host_cpu=$(uname -m)
+fi
+host_go=$(go env GOVERSION)
+host_procs=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+echo "cpu: $host_cpu, go: $host_go, procs: $host_procs" >&2
+
 go run ./cmd/benchjson -file "$out" \
+    "host_cpu=$host_cpu" \
+    "host_go_version=$host_go" \
+    "host_gomaxprocs=$host_procs" \
     "microbenchmark=BenchmarkAccess (internal/machine, steady-state fast path)" \
     "ns_per_access=$ns" \
     "bytes_per_op=${bop:-0}" \
@@ -128,10 +184,12 @@ go run ./cmd/benchjson -file "$out" \
     "bulk_microbenchmark=BenchmarkAccessRun (internal/machine, edge-scan-shaped sequential runs)" \
     "ns_per_access_bulk=$bns" \
     "bulk_allocs_per_op=${baop:-0}" \
+    "bulk_vs_scalar_ratio=$bulk_ratio" \
     "gather_microbenchmark=BenchmarkAccessGather vs BenchmarkAccessGatherScalar (internal/machine, irregular neighbor-gather-shaped stream)" \
     "ns_per_access_gather=$gns" \
     "ns_per_access_gather_scalar=$gsns" \
     "gather_allocs_per_op=${gaop:-0}" \
+    "gather_vs_scalar_ratio=$gather_ratio" \
     "headline_benchmark=BenchmarkHeadline (-benchtime 1x, bench scale)" \
     "headline_ns_per_op=${hns:-0}" \
     "campaign=expdriver -scale bench -exp fig5,pagecache -j 1" \
@@ -144,6 +202,11 @@ go run ./cmd/benchjson -file "$out" \
     "run_shard_wall_seconds=$shard_wall" \
     "run_noshard_wall_seconds=$noshard_wall" \
     "run_shard_speedup=$shard_speedup" \
+    "ckpt_store=TestCkptReloadSpeedup (bench-scale fullscale cell: ckpt.Save/LoadCheckpoint throughput and reload-vs-restage speedup, min of 3)" \
+    "ckpt_save_gbps=$ckpt_save" \
+    "ckpt_load_gbps=$ckpt_load" \
+    "ckpt_reload_speedup=$ckpt_speedup" \
+    "ckpt_image_bytes=$ckpt_bytes" \
     "footprint=stats.Footprint of the staged ext-fullscale cell (128 GB node, full scale) vs the legacy dense representation" \
     "bytes_per_frame=$bytes_per_frame" \
     "footprint_fullscale_bytes=$fs_bytes" \

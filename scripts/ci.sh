@@ -3,7 +3,7 @@
 #
 #   1. gofmt            formatting drift
 #   2. go vet           stdlib static checks
-#   3. simlint          project determinism rules (SL001..SL014),
+#   3. simlint          project determinism rules (SL001..SL015),
 #                       timed: the interprocedural facts engine must
 #                       keep the full-module sweep under 60s
 #   4. go build         both build-tag variants compile
@@ -47,11 +47,24 @@
 #                       array assert plus TestFrameInfoSize), and the
 #                       packed/unpacked differential property test
 #  14. paper-geometry gate
-#                       the ext-fullscale cell stages a >= 100 GB node,
+#                       the ext-fullscale campaign ({Kron25,Twit} x
+#                       {BFS,PR} x {THP,4KB}) stages >= 100 GB nodes,
 #                       finishes inside its wall/host-memory budgets,
 #                       and the compact metadata shows >= 2x footprint
-#                       reduction (TestFullscaleGeometryGate)
-#  15. docsplice -check
+#                       reduction (TestFullscaleGeometryGate); the gate
+#                       points GRAPHMEM_CKPT_DIR at a persistent store
+#                       so repetitions (bench.sh, reruns sharing the
+#                       same GRAPHMEM_CKPT_DIR) reload staged nodes
+#                       instead of re-faulting them
+#  15. persistent checkpoint store
+#                       one expdriver process populates a -ckpt-dir
+#                       store, a second process reloads every load
+#                       phase from it — both at -j 1 and -j 4 — and
+#                       every byte surface must match the store-less
+#                       run of step 8; then the in-process perf gate
+#                       (TestCkptReloadSpeedup) requires loading a
+#                       container to beat re-staging the node by >= 3x
+#  16. docsplice -check
 #                       EXPERIMENTS.md's measured blocks match results/
 #
 # Run from the repository root: ./scripts/ci.sh
@@ -184,7 +197,36 @@ go test -run 'TestFrameInfoSize|TestFrameInfoPackRoundTrip' -count=1 ./internal/
 go test -run '^TestPackedFrameInfoDifferential$' -count=1 ./internal/machine
 
 echo "== paper-geometry gate: ext-fullscale wall/footprint/host-memory budgets"
-GRAPHMEM_FULLSCALE=1 go test -run '^TestFullscaleGeometryGate$' -count=1 -v -timeout 900s ./internal/exp
+# GRAPHMEM_CKPT_DIR may be inherited from the environment to persist the
+# staged 100 GB+ node images across CI repetitions (and into bench.sh);
+# by default the store lives and dies with this run's scratch dir.
+GRAPHMEM_FULLSCALE=1 GRAPHMEM_CKPT_DIR="${GRAPHMEM_CKPT_DIR:-$tmp/fsckpt}" \
+    go test -run '^TestFullscaleGeometryGate$' -count=1 -v -timeout 900s ./internal/exp
+
+echo "== persistent checkpoint store: cross-process reload equivalence + speedup gate"
+# One process stages and saves, a second process reloads from the store;
+# both must render the exact bytes of step 8's store-less run, at -j 1
+# and -j 4. The store directory is shared, content-addressed by initKey.
+mkdir -p "$tmp/csvc0" "$tmp/csvc1" "$tmp/csvc4"
+"$tmp/expdriver" -scale bench -exp "$subset" -j 1 -ckpt-dir "$tmp/store" \
+    -out "$tmp/outc0.md" -csv "$tmp/csvc0" > "$tmp/stdoutc0.txt"
+"$tmp/expdriver" -scale bench -exp "$subset" -j 1 -ckpt-dir "$tmp/store" \
+    -out "$tmp/outc1.md" -csv "$tmp/csvc1" > "$tmp/stdoutc1.txt"
+"$tmp/expdriver" -scale bench -exp "$subset" -j 4 -ckpt-dir "$tmp/store" \
+    -out "$tmp/outc4.md" -csv "$tmp/csvc4" > "$tmp/stdoutc4.txt"
+for v in c0 c1 c4; do
+    diff "$tmp/stdout1.txt" "$tmp/stdout$v.txt"
+    diff "$tmp/out1.md" "$tmp/out$v.md"
+    diff -r "$tmp/csv1" "$tmp/csv$v"
+done
+if [ -z "$(ls "$tmp/store"/*.ckpt 2>/dev/null)" ]; then
+    echo "checkpoint store is empty after a populating campaign" >&2
+    exit 1
+fi
+# The >= 3x reload-vs-restage gate times both sides in-process
+# (min-of-3): subprocess wall-clocks would fold compilation, dataset
+# generation, and kernel phases into both sides and drown the margin.
+GRAPHMEM_CKPT_GATE=1 go test -run '^TestCkptReloadSpeedup$' -count=1 -v ./internal/exp
 
 echo "== docsplice -check (EXPERIMENTS.md in sync with results/)"
 go run ./cmd/docsplice -doc EXPERIMENTS.md -results results/expdriver_full.txt -check
